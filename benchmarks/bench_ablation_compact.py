@@ -1,0 +1,75 @@
+"""E-compact ablation: pressure-aware schedule compaction.
+
+The paper's conclusions defer "better scheduling algorithms" as too costly
+for a compiler.  This ablation measures what the cheapest such pass (greedy
+slack compaction, see :mod:`repro.sched.compact`) buys on top of each
+register-file model, and what it costs in compile time.
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.core.dualfile import allocate_dual
+from repro.core.swapping import greedy_swap
+from repro.machine.config import paper_config
+from repro.regalloc.allocation import allocate_unified
+from repro.sched.compact import compact_schedule
+from repro.sched.modulo import modulo_schedule
+
+N_LOOPS = 20
+
+
+def _run_compaction_study(loops):
+    machine = paper_config(6)
+    totals = {
+        "unified": 0,
+        "unified+compact": 0,
+        "swapped": 0,
+        "swapped+compact": 0,
+    }
+    elapsed = 0.0
+    for loop in loops:
+        schedule = modulo_schedule(loop.graph, machine)
+        totals["unified"] += allocate_unified(schedule).registers_required
+        swap = greedy_swap(schedule)
+        totals["swapped"] += allocate_dual(
+            swap.schedule, swap.assignment
+        ).registers_required
+
+        start = time.perf_counter()
+        compacted = compact_schedule(schedule).schedule
+        elapsed += time.perf_counter() - start
+        totals["unified+compact"] += allocate_unified(
+            compacted
+        ).registers_required
+        cswap = greedy_swap(compacted)
+        totals["swapped+compact"] += allocate_dual(
+            cswap.schedule, cswap.assignment
+        ).registers_required
+    return totals, elapsed
+
+
+def test_compaction_ablation(benchmark, spill_suite):
+    loops = spill_suite[:N_LOOPS]
+    totals, elapsed = benchmark.pedantic(
+        _run_compaction_study, args=(loops,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["pipeline", "total registers"],
+            list(totals.items()),
+            title=(
+                f"E-compact -- slack compaction ablation "
+                f"({len(loops)} loops, L=6; compaction took {elapsed:.1f}s)"
+            ),
+        )
+    )
+    assert totals["unified+compact"] <= totals["unified"]
+    assert totals["swapped+compact"] <= totals["swapped"] + 2
+    benchmark.extra_info["unified_gain"] = (
+        totals["unified"] - totals["unified+compact"]
+    )
+    benchmark.extra_info["swapped_gain"] = (
+        totals["swapped"] - totals["swapped+compact"]
+    )

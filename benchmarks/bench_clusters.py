@@ -1,0 +1,77 @@
+"""E-clusters: generalizing the non-consistent file beyond two clusters.
+
+The paper's Section 4 notes the technique applies to other organizations;
+this study scales the machine to 1, 2 and 4 clusters (one adder, one
+multiplier, one load/store unit each) and measures the per-subfile register
+requirement of the swapped model.  More clusters shrink each subfile's
+local population but promote more values to duplicated (multi-subfile)
+status -- the tension this benchmark quantifies.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.dualfile import allocate_dual
+from repro.core.swapping import greedy_swap
+from repro.machine.config import clustered_config
+from repro.regalloc.allocation import allocate_unified
+from repro.sched.modulo import modulo_schedule
+
+N_LOOPS = 30
+CLUSTER_COUNTS = (1, 2, 4)
+
+
+def _run_cluster_study(loops):
+    rows = []
+    for n_clusters in CLUSTER_COUNTS:
+        machine = clustered_config(n_clusters, fp_latency=6)
+        unified_total = 0
+        dual_total = 0
+        duplicated = 0
+        values = 0
+        for loop in loops:
+            schedule = modulo_schedule(loop.graph, machine)
+            unified_total += allocate_unified(schedule).registers_required
+            if n_clusters == 1:
+                dual_total += allocate_unified(schedule).registers_required
+                values += len(schedule.graph.values())
+                continue
+            swap = greedy_swap(schedule)
+            alloc = allocate_dual(swap.schedule, swap.assignment)
+            dual_total += alloc.registers_required
+            duplicated += len(alloc.classes.global_ids)
+            values += len(alloc.classes.value_clusters)
+        rows.append(
+            (
+                n_clusters,
+                unified_total,
+                dual_total,
+                f"{100 * dual_total / unified_total:.1f}%",
+                f"{100 * duplicated / values:.1f}%" if values else "-",
+            )
+        )
+    return rows
+
+
+def test_cluster_scaling(benchmark, spill_suite):
+    loops = spill_suite[:N_LOOPS]
+    rows = benchmark.pedantic(
+        _run_cluster_study, args=(loops,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["clusters", "unified regs", "per-subfile regs", "ratio", "duplicated"],
+            rows,
+            title=(
+                f"E-clusters -- per-subfile requirement vs cluster count "
+                f"({len(loops)} loops, swapped model, L=6)"
+            ),
+        )
+    )
+    by_n = {r[0]: r for r in rows}
+    # Wider machines raise absolute pressure, so the per-machine comparison
+    # is the subfile-to-unified *ratio*: splitting must shrink it.
+    ratio = {n: by_n[n][2] / by_n[n][1] for n in CLUSTER_COUNTS}
+    assert ratio[2] < ratio[1]
+    assert ratio[4] < ratio[2]
+    for n, _, dual, rel, _dup in rows:
+        benchmark.extra_info[f"{n}_clusters"] = f"{dual} ({rel})"

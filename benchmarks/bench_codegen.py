@@ -1,0 +1,53 @@
+"""E-codegen: the code-size cost of software pipelining without rotating
+register files and predication (paper, Section 2's hardware assumption).
+
+For every loop: the rotating/predicated listing is exactly II words; the
+replicated listing pays ``(stages-1)*II`` words of prologue, the kernel
+unrolled by the MVE factor, and ``~(stages-1)*II`` of epilogue.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.machine.config import paper_config
+from repro.sched.codegen import code_size_comparison
+from repro.sched.modulo import modulo_schedule
+
+N_LOOPS = 60
+
+
+def _run_codegen_study(loops):
+    machine = paper_config(6)
+    rotating = 0
+    replicated = 0
+    worst_ratio = 0.0
+    for loop in loops:
+        schedule = modulo_schedule(loop.graph, machine)
+        sizes = code_size_comparison(schedule)
+        rotating += sizes["rotating"]
+        replicated += sizes["replicated"]
+        worst_ratio = max(worst_ratio, sizes["replicated"] / sizes["rotating"])
+    return rotating, replicated, worst_ratio
+
+
+def test_codegen_cost(benchmark, bench_suite):
+    loops = bench_suite[:N_LOOPS]
+    rotating, replicated, worst = benchmark.pedantic(
+        _run_codegen_study, args=(loops,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["style", "total instruction words"],
+            [
+                ("rotating + predicated", rotating),
+                ("replicated (prologue/unroll/epilogue)", replicated),
+            ],
+            title=f"E-codegen -- code size over {len(loops)} loops (L=6)",
+        )
+    )
+    print(
+        f"average expansion: {replicated / rotating:.1f}x, "
+        f"worst loop: {worst:.1f}x"
+    )
+    assert replicated > rotating
+    benchmark.extra_info["expansion_x"] = round(replicated / rotating, 2)
+    benchmark.extra_info["worst_x"] = round(worst, 2)

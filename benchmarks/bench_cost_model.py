@@ -1,0 +1,24 @@
+"""Benchmark + report for the Section 3.2 register-file cost analysis."""
+
+from repro.experiments.cost import format_report, run_cost_study
+
+
+def test_cost_model(benchmark):
+    studies = benchmark(
+        lambda: [run_cost_study(32), run_cost_study(64)]
+    )
+    print()
+    print(format_report(studies))
+    orgs32 = {o.name: o for o in studies[0].organizations}
+    # The conclusions' claims, in normalized cost-model units.
+    assert orgs32["non-consistent dual"].access_time < orgs32[
+        "unified"
+    ].access_time
+    assert orgs32["non-consistent dual"].total_area < orgs32[
+        "doubled unified"
+    ].total_area
+    benchmark.extra_info["dual_vs_unified_time"] = round(
+        orgs32["non-consistent dual"].access_time
+        / orgs32["unified"].access_time,
+        3,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark + report for Tables 2/3/4 (the Section 4.1 example).
+
+Run with ``pytest benchmarks/bench_example_loop.py --benchmark-only -s`` to
+see the reproduced tables.
+"""
+
+from repro.experiments.example_loop import format_report, run_example
+
+
+def test_tables_2_3_4(benchmark):
+    result = benchmark(run_example)
+    print()
+    print(format_report(result))
+    assert result.unified_registers == 42
+    assert result.partitioned_registers == 29
+    assert result.swapped_registers == 23
+    benchmark.extra_info["unified"] = result.unified_registers
+    benchmark.extra_info["partitioned"] = result.partitioned_registers
+    benchmark.extra_info["swapped"] = result.swapped_registers

@@ -1,0 +1,25 @@
+"""Benchmark + report for Figure 6 (static register-requirement CDFs)."""
+
+from repro.experiments.figure6 import format_report, run_figure6
+
+
+def test_figure6(benchmark, bench_suite):
+    sets = benchmark.pedantic(
+        run_figure6, args=(bench_suite,), rounds=1, iterations=1
+    )
+    print()
+    print(format_report(sets))
+    for dist in sets:
+        unified = dist.curves["unified"]
+        partitioned = dist.curves["partitioned"]
+        swapped = dist.curves["swapped"]
+        # The paper's ordering at every grid point (small epsilon: the
+        # first-fit packing is not perfectly monotone across models).
+        for u, p, s in zip(unified.points, partitioned.points, swapped.points):
+            assert p.fraction >= u.fraction - 0.03
+            assert s.fraction >= p.fraction - 0.03
+        benchmark.extra_info[f"L{dist.latency}"] = {
+            "unified<=32": round(unified.at(32) * 100, 1),
+            "partitioned<=32": round(partitioned.at(32) * 100, 1),
+            "swapped<=32": round(swapped.at(32) * 100, 1),
+        }

@@ -1,0 +1,26 @@
+"""Benchmark + report for Figure 7 (dynamic, cycle-weighted CDFs)."""
+
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import format_report, run_figure7
+
+
+def test_figure7(benchmark, bench_suite):
+    sets = benchmark.pedantic(
+        run_figure7, args=(bench_suite,), rounds=1, iterations=1
+    )
+    print()
+    print(format_report(sets))
+    static = run_figure6(bench_suite, latencies=(6,))
+    dynamic = next(d for d in sets if d.latency == 6)
+    # Paper (Section 5.3): the dynamic improvement of partitioning is larger
+    # than the static one -- high-pressure loops dominate execution time, so
+    # the unified curve drops more dynamically than the partitioned curve.
+    static_gap = static[0].curves["partitioned"].at(64) - static[0].curves[
+        "unified"
+    ].at(64)
+    dynamic_gap = dynamic.curves["partitioned"].at(64) - dynamic.curves[
+        "unified"
+    ].at(64)
+    assert dynamic_gap >= static_gap - 0.02
+    benchmark.extra_info["static_gap_at_64"] = round(static_gap * 100, 1)
+    benchmark.extra_info["dynamic_gap_at_64"] = round(dynamic_gap * 100, 1)

@@ -1,0 +1,32 @@
+"""Benchmark + report for Figure 8 (performance under register budgets)."""
+
+from repro.core.models import Model
+from repro.experiments.figure8 import format_report, run_figure8
+
+
+def test_figure8(benchmark, spill_suite):
+    cells = benchmark.pedantic(
+        run_figure8, args=(spill_suite,), rounds=1, iterations=1
+    )
+    print()
+    print(format_report(cells))
+    perf = {(c.latency, c.budget, c.model): c.performance for c in cells}
+    # The paper's qualitative results:
+    # (1) with 64 registers the dual models are near-ideal;
+    assert perf[(3, 64, Model.PARTITIONED)] >= 0.99
+    assert perf[(6, 64, Model.PARTITIONED)] >= 0.95
+    # (2) Unified degrades the most at L6/R32;
+    assert perf[(6, 32, Model.UNIFIED)] == min(
+        perf[(lat, b, m)]
+        for lat in (3, 6)
+        for b in (32, 64)
+        for m in Model
+    )
+    # (3) the dual file dominates Unified everywhere.
+    for lat in (3, 6):
+        for b in (32, 64):
+            assert perf[(lat, b, Model.PARTITIONED)] >= perf[
+                (lat, b, Model.UNIFIED)
+            ] - 1e-9
+    for (lat, b, m), value in perf.items():
+        benchmark.extra_info[f"L{lat}R{b}-{m.value}"] = round(value, 3)

@@ -1,0 +1,25 @@
+"""Benchmark + report for Figure 9 (density of memory traffic)."""
+
+from repro.core.models import Model
+from repro.experiments.figure9 import format_report, run_figure9
+
+
+def test_figure9(benchmark, spill_suite):
+    cells = benchmark.pedantic(
+        run_figure9, args=(spill_suite,), rounds=1, iterations=1
+    )
+    print()
+    print(format_report(cells))
+    traffic = {(c.latency, c.budget, c.model): c.total_accesses for c in cells}
+    density = {(c.latency, c.budget, c.model): c.density for c in cells}
+    for lat in (3, 6):
+        for budget in (32, 64):
+            # Spill code can only add accesses; the dual models add fewer.
+            assert (
+                traffic[(lat, budget, Model.UNIFIED)]
+                >= traffic[(lat, budget, Model.PARTITIONED)]
+                >= traffic[(lat, budget, Model.IDEAL)]
+            )
+            assert 0.0 <= density[(lat, budget, Model.UNIFIED)] <= 1.0
+    for (lat, b, m), value in density.items():
+        benchmark.extra_info[f"L{lat}R{b}-{m.value}"] = round(value, 3)

@@ -1,0 +1,60 @@
+"""E-mve: what the rotating register file buys over modulo variable
+expansion (kernel unrolling with static renaming).
+
+The paper assumes rotating-register hardware (Section 2); MVE is the
+software alternative on machines without it.  This benchmark compares, over
+the suite at latency 6: registers required (MVE per-value ceilings vs
+wands-only packing) and the kernel code expansion MVE pays.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.machine.config import paper_config
+from repro.regalloc.allocation import allocate_unified
+from repro.regalloc.mve import allocate_mve
+from repro.sched.modulo import modulo_schedule
+
+N_LOOPS = 60
+
+
+def _run_mve_study(loops):
+    machine = paper_config(6)
+    rotating_regs = 0
+    mve_regs = 0
+    kernel_ops = 0
+    unrolled_ops = 0
+    for loop in loops:
+        schedule = modulo_schedule(loop.graph, machine)
+        rotating_regs += allocate_unified(schedule).registers_required
+        mve = allocate_mve(schedule)
+        mve_regs += mve.registers_required
+        kernel_ops += len(schedule.graph)
+        unrolled_ops += mve.code_expansion
+    return rotating_regs, mve_regs, kernel_ops, unrolled_ops
+
+
+def test_mve_vs_rotating(benchmark, bench_suite):
+    loops = bench_suite[:N_LOOPS]
+    rotating, mve, kernel_ops, unrolled = benchmark.pedantic(
+        _run_mve_study, args=(loops,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["allocation", "total registers", "total kernel ops"],
+            [
+                ("rotating file + wands-only", rotating, kernel_ops),
+                ("modulo variable expansion", mve, unrolled),
+            ],
+            title=f"E-mve -- rotating file vs MVE over {len(loops)} loops (L=6)",
+        )
+    )
+    print(
+        f"register overhead: {100 * (mve - rotating) / rotating:.1f}%  "
+        f"code expansion: {unrolled / kernel_ops:.1f}x"
+    )
+    assert mve >= rotating
+    assert unrolled > kernel_ops
+    benchmark.extra_info["register_overhead_pct"] = round(
+        100 * (mve - rotating) / rotating, 1
+    )
+    benchmark.extra_info["code_expansion_x"] = round(unrolled / kernel_ops, 2)

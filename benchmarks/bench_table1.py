@@ -1,0 +1,24 @@
+"""Benchmark + report for Table 1 (PxLy allocatable-loop percentages)."""
+
+from repro.experiments.table1 import format_report, run_table1
+
+
+def test_table1(benchmark, bench_suite):
+    rows = benchmark.pedantic(
+        run_table1, args=(bench_suite,), rounds=1, iterations=1
+    )
+    print()
+    print(format_report(rows))
+    by_name = {r.config: r for r in rows}
+    # Paper anchors (shape): P1L3 nearly everything fits 64 registers;
+    # P2L6 is the most register-hungry configuration.
+    assert by_name["P1L3"].static_percent[64] >= 95.0
+    assert (
+        by_name["P2L6"].static_percent[32]
+        <= by_name["P1L3"].static_percent[32]
+    )
+    for row in rows:
+        benchmark.extra_info[row.config] = {
+            "static<=64": round(row.static_percent[64], 1),
+            "dynamic<=64": round(row.dynamic_percent[64], 1),
+        }

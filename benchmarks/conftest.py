@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Suite sizes are modest by default so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes; set ``REPRO_BENCH_LOOPS`` (and ``REPRO_SPILL_LOOPS``)
+to reproduce the paper-scale numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads.suite import perfect_club_like
+
+BENCH_LOOPS = int(os.environ.get("REPRO_BENCH_LOOPS", "120"))
+SPILL_LOOPS = int(os.environ.get("REPRO_SPILL_LOOPS", "32"))
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    """The distribution-experiment suite."""
+    return list(perfect_club_like(BENCH_LOOPS))
+
+
+@pytest.fixture(scope="session")
+def spill_suite():
+    """The (smaller) spill-pipeline suite for Figures 8/9."""
+    return list(perfect_club_like(BENCH_LOOPS).subset(SPILL_LOOPS))

@@ -1,0 +1,37 @@
+"""A scaled-down rerun of the paper's whole evaluation (Figures 6-9).
+
+Uses a 120-loop slice of the Perfect-Club-like suite so it finishes in about
+a minute; pass a size on the command line to scale up, e.g.::
+
+    python examples/perfect_club_study.py 800      # paper scale
+
+Run:  python examples/perfect_club_study.py
+"""
+
+import sys
+
+from repro.experiments import figure6, figure7, figure8, figure9
+from repro.workloads import perfect_club_like
+
+
+def main() -> None:
+    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    suite = perfect_club_like(n_loops)
+    loops = list(suite)
+    spill_loops = list(suite.subset(max(16, n_loops // 8)))
+    print(
+        f"suite: {len(loops)} loops "
+        f"({suite.total_trips} total iterations of weight)"
+    )
+
+    print("\n" + figure6.format_report(figure6.run_figure6(loops)))
+    print("\n" + figure7.format_report(figure7.run_figure7(loops)))
+    print(
+        f"\n(spill pipeline on a {len(spill_loops)}-loop stratified subset)"
+    )
+    print("\n" + figure8.format_report(figure8.run_figure8(spill_loops)))
+    print("\n" + figure9.format_report(figure9.run_figure9(spill_loops)))
+
+
+if __name__ == "__main__":
+    main()

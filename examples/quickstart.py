@@ -1,0 +1,49 @@
+"""Quickstart: walk the paper's Section 4.1 example through the pipeline.
+
+Builds the example loop, modulo-schedules it on the example machine
+(2 adders, 2 multipliers, 4 load/store units, FP latency 3), and prints the
+register requirements of every model -- reproducing the famous 42 / 29 / 23
+progression of Tables 2-4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Model, modulo_schedule, required_registers
+from repro.machine import example_config
+from repro.regalloc import lifetimes, total_lifetime
+from repro.workloads import example_loop
+
+
+def main() -> None:
+    loop = example_loop()
+    machine = example_config()
+    print(f"loop: {loop.name}  ({loop.source})")
+    print(f"machine: {machine!r}")
+
+    schedule = modulo_schedule(loop.graph, machine)
+    print(f"\nmodulo schedule found with II = {schedule.ii}, "
+          f"{schedule.stage_count} pipeline stages")
+    print(schedule.format_kernel())
+
+    lts = lifetimes(schedule)
+    print("\nlifetimes (paper, Table 2):")
+    for op in schedule.graph.values():
+        lt = lts[op.op_id]
+        print(f"  {op.name}: [{lt.start}, {lt.end})  length {lt.length}")
+    print(f"  sum = {total_lifetime(lts)}")
+
+    print("\nregister requirements (paper: 42 / 29 / 23):")
+    for model in (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED):
+        requirement = required_registers(schedule, model)
+        line = f"  {model.value:<12} {requirement.registers:>3} registers"
+        if requirement.dual is not None:
+            per = requirement.dual.per_cluster
+            line += (
+                f"   (globals {requirement.dual.global_registers}, "
+                f"left {per[0]}, right {per[1]})"
+            )
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

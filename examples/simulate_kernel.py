@@ -1,0 +1,66 @@
+"""Execute a software-pipelined kernel cycle by cycle and watch the ports.
+
+Takes a kernel name (default: the Livermore tridiagonal recurrence), runs it
+through scheduling + swapped dual allocation, then executes 32 overlapped
+iterations on the verifying simulator.  Every register read is checked
+against a direct interpretation of the dependence graph, so what prints at
+the end is *proof* the schedule and the non-consistent dual allocation are
+semantically correct -- plus the port/bus pressure the paper's Section 3.2
+argues about.
+
+Run:  python examples/simulate_kernel.py [kernel-name]
+"""
+
+import sys
+
+from repro.core import allocate_dual, greedy_swap
+from repro.machine import paper_config
+from repro.regalloc import allocate_unified
+from repro.sched import modulo_schedule
+from repro.sim import execute_kernel
+from repro.workloads import kernel_names, make_kernel
+
+ITERATIONS = 32
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tridiag_elimination"
+    if name not in kernel_names():
+        raise SystemExit(
+            f"unknown kernel {name!r}; available: {', '.join(kernel_names())}"
+        )
+    loop = make_kernel(name)
+    machine = paper_config(6)
+    print(f"kernel: {loop.name}  ({loop.source})")
+
+    schedule = modulo_schedule(loop.graph, machine)
+    print(f"II = {schedule.ii}, stages = {schedule.stage_count}")
+
+    unified = allocate_unified(schedule)
+    report = execute_kernel(schedule, unified, iterations=ITERATIONS)
+    print(
+        f"\nunified file ({unified.registers_required} registers): "
+        f"{report.reads_checked} reads verified, "
+        f"bus peak {report.bus_peak}/{machine.memory_bandwidth}"
+    )
+
+    swap = greedy_swap(schedule)
+    dual = allocate_dual(swap.schedule, swap.assignment)
+    report = execute_kernel(swap.schedule, dual, iterations=ITERATIONS)
+    print(
+        f"swapped dual file ({dual.registers_required} registers/subfile, "
+        f"{swap.n_swaps} swaps): {report.reads_checked} reads verified"
+    )
+    for name_, stats in sorted(report.port_stats.items()):
+        print(
+            f"  {name_}: peak {stats.max_reads} reads/cycle, "
+            f"{stats.max_writes} writes/cycle"
+        )
+    print(
+        f"bus usage: {report.average_bus_usage(machine.memory_bandwidth):.2f} "
+        "of bandwidth per cycle"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""How spill code erodes performance as the register file shrinks.
+
+Sweeps register budgets for one high-pressure kernel at latency 6 and shows
+II, spilled values and traffic density per model -- a per-loop view of the
+mechanism behind the paper's Figures 8 and 9.
+
+Run:  python examples/spill_pressure.py
+"""
+
+from repro import Model, evaluate_loop
+from repro.analysis import format_table
+from repro.machine import paper_config
+from repro.workloads import make_kernel
+
+BUDGETS = (64, 48, 32, 24, 16, 12)
+MODELS = (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
+
+
+def main() -> None:
+    loop = make_kernel("state_equation")
+    machine = paper_config(6)
+    ideal = evaluate_loop(loop, machine, Model.IDEAL)
+    print(f"kernel: {loop.name}  ({loop.source})")
+    print(
+        f"ideal: II={ideal.ii}, needs {ideal.requirement.registers} "
+        "registers with infinite supply\n"
+    )
+
+    rows = []
+    for budget in BUDGETS:
+        for model in MODELS:
+            ev = evaluate_loop(loop, machine, model, register_budget=budget)
+            rows.append(
+                (
+                    budget,
+                    model.value,
+                    ev.ii,
+                    ev.spilled_values,
+                    f"{ideal.ii / ev.ii:.2f}",
+                    f"{ev.traffic_density:.2f}",
+                )
+            )
+    print(
+        format_table(
+            ["budget", "model", "II", "spills", "perf", "density"],
+            rows,
+            title="register budget sweep (latency 6)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

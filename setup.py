@@ -1,0 +1,5 @@
+"""Shim for environments whose setuptools cannot build PEP 660 wheels."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro -- reproduction of "Non-Consistent Dual Register Files to Reduce
+Register Pressure" (Llosa, Valero, Ayguade; HPCA 1995).
+
+The package implements the paper's complete pipeline in pure Python:
+
+* :mod:`repro.ir` -- loop bodies as data-dependence graphs (+ builder DSL);
+* :mod:`repro.machine` -- VLIW machine configurations and register-file
+  cost models;
+* :mod:`repro.sched` -- iterative modulo scheduling;
+* :mod:`repro.regalloc` -- lifetimes, MaxLive, wands-only first-fit
+  allocation for rotating register files;
+* :mod:`repro.core` -- the contribution: non-consistent dual register
+  files (GL/LO/RO classification, dual allocation, greedy swapping, the
+  Ideal/Unified/Partitioned/Swapped models);
+* :mod:`repro.spill` -- the naive spiller and traffic metrics;
+* :mod:`repro.sim` -- a verifying cycle-level kernel simulator;
+* :mod:`repro.workloads` -- kernels and the calibrated Perfect-Club-like
+  synthetic suite;
+* :mod:`repro.analysis` / :mod:`repro.experiments` -- distributions,
+  performance aggregation, and one driver per table/figure.
+
+Quickstart::
+
+    from repro import Model, evaluate_loop, paper_config
+    from repro.workloads import example_loop
+
+    ev = evaluate_loop(example_loop(), paper_config(3), Model.SWAPPED, 32)
+    print(ev.ii, ev.requirement.registers)
+"""
+
+from repro.core.models import Model, Requirement, required_registers
+from repro.core.pressure import PressureReport, pressure_report
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+from repro.machine.config import (
+    MachineConfig,
+    clustered_config,
+    example_config,
+    paper_config,
+    pxly,
+)
+from repro.sched.compact import compact_schedule
+from repro.sched.modulo import modulo_schedule, schedule_loop
+from repro.spill.spiller import LoopEvaluation, evaluate_loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Loop",
+    "LoopBuilder",
+    "LoopEvaluation",
+    "MachineConfig",
+    "Model",
+    "PressureReport",
+    "Requirement",
+    "clustered_config",
+    "compact_schedule",
+    "evaluate_loop",
+    "example_config",
+    "modulo_schedule",
+    "paper_config",
+    "pressure_report",
+    "pxly",
+    "required_registers",
+    "schedule_loop",
+    "__version__",
+]

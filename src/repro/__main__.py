@@ -1,0 +1,9 @@
+"""``python -m repro`` — run the full experiment suite.
+
+Delegates to :mod:`repro.experiments.runner`; see ``--help`` for options.
+"""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Distributions, performance aggregation, and report formatting."""
+
+from repro.analysis.distributions import (
+    DEFAULT_GRID,
+    CumulativeDistribution,
+    CumulativePoint,
+    cumulative_distribution,
+    fraction_fitting,
+)
+from repro.analysis.performance import (
+    ModelRun,
+    relative_performance,
+    run_all_models,
+    run_model,
+    total_cycles,
+)
+from repro.analysis.reporting import bar, format_table, percent
+
+__all__ = [
+    "DEFAULT_GRID",
+    "CumulativeDistribution",
+    "CumulativePoint",
+    "ModelRun",
+    "bar",
+    "cumulative_distribution",
+    "format_table",
+    "fraction_fitting",
+    "percent",
+    "relative_performance",
+    "run_all_models",
+    "run_model",
+    "total_cycles",
+]

@@ -1,0 +1,97 @@
+"""Cumulative distributions of register requirements (Figures 6 and 7).
+
+Figure 6 plots, for each register-file model, the fraction of *loops* whose
+requirement fits in x registers; Figure 7 weights each loop by its estimated
+execution time ("the number of iterations each loop has been executed times
+the II obtained once the loop has been modulo scheduled", Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: The x-axis the paper uses: 16 to 128 registers.
+DEFAULT_GRID: tuple[int, ...] = (8, 16, 24, 32, 48, 64, 80, 96, 112, 128)
+
+
+@dataclass(frozen=True)
+class CumulativePoint:
+    registers: int
+    fraction: float  # in [0, 1]
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.fraction
+
+
+@dataclass(frozen=True)
+class CumulativeDistribution:
+    """Fraction of (weighted) loops allocatable within x registers."""
+
+    label: str
+    points: tuple[CumulativePoint, ...]
+
+    def at(self, registers: int) -> float:
+        """Interpolation-free lookup: fraction fitting in ``registers``."""
+        best = 0.0
+        for p in self.points:
+            if p.registers <= registers:
+                best = p.fraction
+        return best
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return [(p.registers, p.percent) for p in self.points]
+
+
+def cumulative_distribution(
+    requirements: Sequence[int],
+    weights: Sequence[float] | None = None,
+    grid: Sequence[int] = DEFAULT_GRID,
+    label: str = "",
+) -> CumulativeDistribution:
+    """Build the cumulative distribution of register requirements.
+
+    Args:
+        requirements: Per-loop register requirement.
+        weights: Per-loop weights (execution cycles for the dynamic
+            distribution); ``None`` weights every loop equally (static).
+    """
+    if weights is None:
+        weights = [1.0] * len(requirements)
+    if len(weights) != len(requirements):
+        raise ValueError("requirements and weights must align")
+    total = float(sum(weights))
+    points = []
+    for threshold in grid:
+        covered = sum(
+            w for r, w in zip(requirements, weights) if r <= threshold
+        )
+        points.append(
+            CumulativePoint(threshold, covered / total if total else 0.0)
+        )
+    return CumulativeDistribution(label=label, points=tuple(points))
+
+
+def fraction_fitting(
+    requirements: Sequence[int],
+    threshold: int,
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Fraction of (weighted) loops with requirement <= threshold."""
+    if weights is None:
+        weights = [1.0] * len(requirements)
+    total = float(sum(weights))
+    if not total:
+        return 0.0
+    covered = sum(w for r, w in zip(requirements, weights) if r <= threshold)
+    return covered / total
+
+
+__all__ = [
+    "DEFAULT_GRID",
+    "CumulativeDistribution",
+    "CumulativePoint",
+    "cumulative_distribution",
+    "fraction_fitting",
+]

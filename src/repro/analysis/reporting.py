@@ -1,0 +1,54 @@
+"""Plain-text table formatting for experiment output.
+
+All experiment drivers print their results as fixed-width ASCII tables so a
+terminal run of a benchmark shows exactly the rows/series the paper's table
+or figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(fraction: float, digits: int = 1) -> str:
+    """``0.107 -> '10.7%'``."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """A proportional ASCII bar for figure-style output."""
+    n = round(max(0.0, min(1.0, fraction)) * width)
+    return fill * n + "." * (width - n)
+
+
+__all__ = ["bar", "format_table", "percent"]

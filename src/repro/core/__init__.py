@@ -1,0 +1,32 @@
+"""The paper's contribution: non-consistent dual register file management."""
+
+from repro.core.clustering import (
+    ClusterAssignment,
+    ValueClasses,
+    classify_values,
+    consumer_clusters,
+    scheduler_assignment,
+)
+from repro.core.dualfile import DualAllocation, allocate_dual, dual_max_live
+from repro.core.models import Model, Requirement, required_registers
+from repro.core.pressure import PressureReport, pressure_report
+from repro.core.swapping import SwapEstimator, SwapResult, greedy_swap
+
+__all__ = [
+    "ClusterAssignment",
+    "DualAllocation",
+    "Model",
+    "PressureReport",
+    "Requirement",
+    "SwapEstimator",
+    "SwapResult",
+    "ValueClasses",
+    "allocate_dual",
+    "classify_values",
+    "consumer_clusters",
+    "dual_max_live",
+    "greedy_swap",
+    "pressure_report",
+    "required_registers",
+    "scheduler_assignment",
+]

@@ -1,0 +1,126 @@
+"""Cluster assignment of operations and GL/LO/RO classification of values.
+
+In the non-consistent dual register file organization (paper, Section 4)
+each cluster of functional units reads only its own register subfile, while
+any unit can *write* either subfile (both subfiles keep the full complement
+of write ports, as in the POWER2's consistent dual file).  Consequently a
+value's storage is dictated purely by **where its consumers execute**:
+
+* consumers in both clusters  -> **global** (GL): duplicated, consistent copy
+  in both subfiles at the same register index;
+* consumers in one cluster    -> **local** (LO/RO): stored only in that
+  cluster's subfile -- even if the producer runs in the other cluster (the
+  paper's example: A4 executes in the left cluster but its value is
+  right-only because its single consumer M5 is on the right).
+
+A value with no consumers is kept local to its producer's cluster.
+
+The classification generalizes beyond two clusters (the paper's discussion
+of other processor implementations): a value is stored in exactly the
+subfiles of the clusters that consume it, with one consistent copy per such
+subfile.  ``global_ids`` then means "values in more than one subfile".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sched.schedule import Schedule
+
+#: op_id -> cluster index.
+ClusterAssignment = dict[int, int]
+
+
+def scheduler_assignment(schedule: Schedule) -> ClusterAssignment:
+    """Initial cluster of every operation, from its bound unit instance.
+
+    This is the *Partitioned* model's assignment: the scheduler places
+    operations for maximum performance and the partition simply falls out of
+    which concrete unit each operation landed on (paper, Section 5.2).
+    """
+    return {
+        op.op_id: schedule.cluster_of(op.op_id)
+        for op in schedule.graph.operations
+    }
+
+
+@dataclass(frozen=True)
+class ValueClasses:
+    """Which subfiles store each loop variant.
+
+    ``value_clusters`` maps every value to the (non-empty) set of clusters
+    whose subfile holds a copy.  ``global_ids`` and ``local_ids`` are the
+    two-cluster paper vocabulary derived from it (GL vs LO/RO).
+    """
+
+    value_clusters: dict[int, frozenset[int]] = field(hash=False)
+    n_clusters: int = 2
+
+    @property
+    def global_ids(self) -> frozenset[int]:
+        """Values duplicated in more than one subfile."""
+        return frozenset(
+            op_id
+            for op_id, clusters in self.value_clusters.items()
+            if len(clusters) > 1
+        )
+
+    @property
+    def local_ids(self) -> dict[int, frozenset[int]]:
+        """cluster -> values stored in that subfile alone."""
+        result: dict[int, frozenset[int]] = {}
+        for cluster in range(self.n_clusters):
+            result[cluster] = frozenset(
+                op_id
+                for op_id, clusters in self.value_clusters.items()
+                if clusters == frozenset({cluster})
+            )
+        return result
+
+    def cluster_value_ids(self, cluster: int) -> frozenset[int]:
+        """All values stored in ``cluster``'s subfile."""
+        return frozenset(
+            op_id
+            for op_id, clusters in self.value_clusters.items()
+            if cluster in clusters
+        )
+
+    @property
+    def clusters(self) -> list[int]:
+        return list(range(self.n_clusters))
+
+
+def consumer_clusters(
+    schedule: Schedule, assignment: ClusterAssignment, op_id: int
+) -> frozenset[int]:
+    """Clusters that read the value defined by ``op_id``."""
+    clusters = frozenset(
+        assignment[consumer.op_id]
+        for consumer, _distance in schedule.graph.consumers(op_id)
+    )
+    if not clusters:
+        clusters = frozenset({assignment[op_id]})
+    return clusters
+
+
+def classify_values(
+    schedule: Schedule, assignment: ClusterAssignment
+) -> ValueClasses:
+    """Map every loop variant to the subfiles that must hold it."""
+    value_clusters = {
+        op.op_id: consumer_clusters(schedule, assignment, op.op_id)
+        for op in schedule.graph.values()
+    }
+    return ValueClasses(
+        value_clusters=value_clusters,
+        n_clusters=schedule.machine.n_clusters,
+    )
+
+
+__all__ = [
+    "ClusterAssignment",
+    "ValueClasses",
+    "classify_values",
+    "consumer_clusters",
+    "scheduler_assignment",
+]

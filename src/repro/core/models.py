@@ -1,0 +1,94 @@
+"""The four register-file models evaluated in the paper (Section 5.2).
+
+* **Ideal** -- infinitely many registers; upper bound on performance.
+* **Unified** -- a traditional unified file *and* the consistent dual file
+  (both subfiles duplicate every value, so capacity equals a single file).
+* **Partitioned** -- the non-consistent dual file with the scheduler's own
+  cluster assignment and no swapping.
+* **Swapped** -- Partitioned plus the greedy swapping post-pass.
+
+:func:`required_registers` maps a schedule to the register requirement under
+each model; the spiller (:mod:`repro.spill`) drives it in a loop when a
+finite register file forces spill code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.clustering import ClusterAssignment, scheduler_assignment
+from repro.core.dualfile import DualAllocation, allocate_dual
+from repro.core.swapping import SwapEstimator, SwapResult, greedy_swap
+from repro.regalloc.allocation import UnifiedAllocation, allocate_unified
+from repro.sched.schedule import Schedule
+
+
+class Model(enum.Enum):
+    """Register-file organization under evaluation."""
+
+    IDEAL = "ideal"
+    UNIFIED = "unified"
+    PARTITIONED = "partitioned"
+    SWAPPED = "swapped"
+
+    @property
+    def is_dual(self) -> bool:
+        return self in (Model.PARTITIONED, Model.SWAPPED)
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """Register requirement of one schedule under one model."""
+
+    model: Model
+    registers: int
+    #: Unified allocation (Ideal/Unified models).
+    unified: UnifiedAllocation | None = None
+    #: Dual allocation (Partitioned/Swapped models).
+    dual: DualAllocation | None = None
+    #: Swapping outcome (Swapped model only).
+    swap: SwapResult | None = None
+
+    @property
+    def assignment(self) -> ClusterAssignment | None:
+        if self.dual is not None:
+            return self.dual.assignment
+        return None
+
+
+def required_registers(
+    schedule: Schedule,
+    model: Model,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+) -> Requirement:
+    """Compute the register requirement of ``schedule`` under ``model``.
+
+    The Ideal model reports the unified requirement (useful for statistics)
+    but callers must not apply a budget to it.
+    """
+    if model in (Model.IDEAL, Model.UNIFIED):
+        unified = allocate_unified(schedule)
+        return Requirement(
+            model=model,
+            registers=unified.registers_required,
+            unified=unified,
+        )
+    if model is Model.PARTITIONED:
+        dual = allocate_dual(schedule, scheduler_assignment(schedule))
+        return Requirement(
+            model=model, registers=dual.registers_required, dual=dual
+        )
+    if model is Model.SWAPPED:
+        swap = greedy_swap(schedule, estimator=swap_estimator)
+        dual = allocate_dual(swap.schedule, swap.assignment)
+        return Requirement(
+            model=model,
+            registers=dual.registers_required,
+            dual=dual,
+            swap=swap,
+        )
+    raise ValueError(f"unknown model {model!r}")  # pragma: no cover
+
+
+__all__ = ["Model", "Requirement", "required_registers"]

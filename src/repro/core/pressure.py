@@ -1,0 +1,68 @@
+"""Register-pressure reports: all models on one schedule, no spilling.
+
+Figures 6 and 7 of the paper measure register requirements with *unlimited*
+registers ("registers have been allocated trying to minimize the number of
+registers used, but with no restrictions in the number of registers
+available", Section 5.3).  :func:`pressure_report` produces exactly that
+triple (Unified / Partitioned / Swapped) for one loop on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models import Model, required_registers
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.regalloc.lifetimes import lifetimes
+from repro.regalloc.maxlive import max_live
+from repro.sched.mii import minimum_ii
+from repro.sched.modulo import modulo_schedule
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class PressureReport:
+    """Register requirements of one loop under the three finite models."""
+
+    loop: Loop
+    machine: MachineConfig
+    schedule: Schedule
+    mii: int
+    unified: int
+    partitioned: int
+    swapped: int
+    max_live: int
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+    def requirement(self, model: Model) -> int:
+        if model in (Model.IDEAL, Model.UNIFIED):
+            return self.unified
+        if model is Model.PARTITIONED:
+            return self.partitioned
+        return self.swapped
+
+
+def pressure_report(loop: Loop, machine: MachineConfig) -> PressureReport:
+    """Schedule ``loop`` once and measure all models' register needs."""
+    schedule = modulo_schedule(loop.graph, machine)
+    unified = required_registers(schedule, Model.UNIFIED)
+    partitioned = required_registers(schedule, Model.PARTITIONED)
+    swapped = required_registers(schedule, Model.SWAPPED)
+    lts = lifetimes(schedule)
+    return PressureReport(
+        loop=loop,
+        machine=machine,
+        schedule=schedule,
+        mii=minimum_ii(loop.graph, machine).mii,
+        unified=unified.registers,
+        partitioned=partitioned.registers,
+        swapped=swapped.registers,
+        max_live=max_live(lts.values(), schedule.ii),
+    )
+
+
+__all__ = ["PressureReport", "pressure_report"]

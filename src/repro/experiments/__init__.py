@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from repro.experiments import (  # noqa: F401 (re-exported modules)
+    cost,
+    example_loop,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+)
+
+__all__ = [
+    "cost",
+    "example_loop",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "table1",
+]

@@ -1,0 +1,112 @@
+"""Register-file cost analysis (Section 3.2 / conclusions).
+
+Not a numbered figure in the paper, but the argument every figure rests on:
+a dual implementation halves each subfile's read ports (log reduction of
+access time, quadratic reduction of per-subfile area per port) while the
+non-consistent organization keeps the short 5-bit specifiers of a
+32-register file yet stores up to twice as many distinct values.  The
+conclusions claim the proposal "is cheaper than doubling the number of
+registers ... and does not penalize the access time"; this experiment makes
+that comparison concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.machine.config import MachineConfig, paper_config
+from repro.machine.costmodel import (
+    CostModel,
+    OrganizationCost,
+    compare_organizations,
+)
+
+
+@dataclass(frozen=True)
+class CostStudy:
+    """Cost comparison for one machine's port requirements."""
+
+    machine: str
+    registers: int
+    read_ports: int
+    write_ports: int
+    organizations: tuple[OrganizationCost, ...]
+
+
+def read_write_ports(machine: MachineConfig) -> tuple[int, int]:
+    """Total FP register data ports the machine's units need.
+
+    Adders and multipliers read two operands and write one result; a
+    load writes one result; a store reads one datum.
+    """
+    reads = 0
+    writes = 0
+    for pool in machine.pools:
+        if pool.name in ("adder", "mult"):
+            reads += 2 * pool.count
+            writes += pool.count
+        elif pool.name in ("mem", "load"):
+            reads += pool.count  # stores share combined units' ports
+            writes += pool.count
+        elif pool.name == "store":
+            reads += pool.count
+    return reads, max(1, writes)
+
+
+def run_cost_study(
+    registers: int = 32,
+    machine: MachineConfig | None = None,
+    model: CostModel | None = None,
+) -> CostStudy:
+    """Compare the four organizations for one machine and register count."""
+    machine = machine or paper_config(3)
+    reads, writes = read_write_ports(machine)
+    return CostStudy(
+        machine=machine.name,
+        registers=registers,
+        read_ports=reads,
+        write_ports=writes,
+        organizations=tuple(
+            compare_organizations(registers, reads, writes, model=model)
+        ),
+    )
+
+
+def format_report(studies: Sequence[CostStudy]) -> str:
+    sections = []
+    for study in studies:
+        rows = [
+            (
+                org.name,
+                f"{org.total_area:.2f}",
+                f"{org.access_time:.3f}",
+                org.specifier_bits,
+                org.effective_capacity,
+            )
+            for org in study.organizations
+        ]
+        sections.append(
+            format_table(
+                ["organization", "area", "access time", "spec bits", "capacity"],
+                rows,
+                title=(
+                    f"Register-file cost, {study.machine}: R={study.registers}, "
+                    f"{study.read_ports}R/{study.write_ports}W ports "
+                    "(normalized units)"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_report([run_cost_study(32), run_cost_study(64)]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+__all__ = ["CostStudy", "format_report", "read_write_ports", "run_cost_study"]

@@ -1,0 +1,139 @@
+"""Figure 6: static cumulative distribution of loops vs registers required.
+
+For each latency (3 and 6, on the 2-cluster machine of Section 5.2) and each
+model (Unified, Partitioned, Swapped) the figure shows the fraction of loops
+whose register requirement fits within x registers, for x from 16 to 128.
+The expected shape: Partitioned shifts the curve left of Unified markedly,
+Swapped adds a smaller additional shift, and both dual models gain more at
+latency 6 (higher pressure) than at latency 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.distributions import (
+    DEFAULT_GRID,
+    CumulativeDistribution,
+    cumulative_distribution,
+)
+from repro.analysis.reporting import bar, format_table
+from repro.core.pressure import PressureReport, pressure_report
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig, paper_config
+
+MODEL_NAMES = ("unified", "partitioned", "swapped")
+
+
+@dataclass(frozen=True)
+class DistributionSet:
+    """The three model curves for one machine configuration."""
+
+    machine: str
+    latency: int
+    curves: dict[str, CumulativeDistribution]
+    reports: tuple[PressureReport, ...]
+
+    def curve(self, model: str) -> CumulativeDistribution:
+        return self.curves[model]
+
+
+def collect_reports(
+    loops: Sequence[Loop], machine: MachineConfig
+) -> list[PressureReport]:
+    return [pressure_report(loop, machine) for loop in loops]
+
+
+def build_distributions(
+    reports: Sequence[PressureReport],
+    machine: MachineConfig,
+    latency: int,
+    weighted: bool = False,
+    grid: Sequence[int] = DEFAULT_GRID,
+) -> DistributionSet:
+    """Assemble the per-model cumulative curves from pressure reports."""
+    weights = (
+        [float(r.loop.trip_count * r.ii) for r in reports] if weighted else None
+    )
+    curves = {}
+    for model in MODEL_NAMES:
+        requirements = [getattr(r, model) for r in reports]
+        curves[model] = cumulative_distribution(
+            requirements, weights=weights, grid=grid, label=model
+        )
+    return DistributionSet(
+        machine=machine.name,
+        latency=latency,
+        curves=curves,
+        reports=tuple(reports),
+    )
+
+
+def run_figure6(
+    loops: Sequence[Loop],
+    latencies: Sequence[int] = (3, 6),
+    weighted: bool = False,
+    grid: Sequence[int] = DEFAULT_GRID,
+) -> list[DistributionSet]:
+    """Compute the Figure 6 (or, with ``weighted=True``, Figure 7) data."""
+    sets = []
+    for latency in latencies:
+        machine = paper_config(latency)
+        reports = collect_reports(loops, machine)
+        sets.append(
+            build_distributions(reports, machine, latency, weighted, grid)
+        )
+    return sets
+
+
+def format_report(
+    sets: Sequence[DistributionSet], figure_name: str = "Figure 6"
+) -> str:
+    sections = []
+    for dist in sets:
+        rows = []
+        grid = [p.registers for p in dist.curves["unified"].points]
+        for registers in grid:
+            rows.append(
+                (
+                    registers,
+                    *(
+                        f"{dist.curves[m].at(registers) * 100:.1f}"
+                        for m in MODEL_NAMES
+                    ),
+                    bar(dist.curves["partitioned"].at(registers), width=24),
+                )
+            )
+        sections.append(
+            format_table(
+                ["registers", *MODEL_NAMES, "partitioned-curve"],
+                rows,
+                title=(
+                    f"{figure_name} -- cumulative % of "
+                    f"{'cycles' if figure_name == 'Figure 7' else 'loops'}, "
+                    f"latency {dist.latency}"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.workloads.suite import quick_suite
+
+    print(format_report(run_figure6(list(quick_suite(120)))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+__all__ = [
+    "MODEL_NAMES",
+    "DistributionSet",
+    "build_distributions",
+    "collect_reports",
+    "format_report",
+    "run_figure6",
+]

@@ -1,0 +1,111 @@
+"""Figure 8: performance of the four models with limited register files.
+
+For latency in {3, 6} and register budget in {32, 64}, every loop runs the
+full schedule/allocate/spill pipeline under Ideal, Unified, Partitioned and
+Swapped, and the workload performance is reported relative to Ideal
+(``sum(trips * II_ideal) / sum(trips * II_model)``).
+
+Shapes the paper reports: with 64 registers the dual models nearly match
+Ideal while Unified loses at latency 6; with 32 registers Unified degrades
+heavily, the dual models stay near Ideal at latency 3, and Swapped beats
+Partitioned exactly where pressure hurts most (L6/R32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.performance import ModelRun, relative_performance, run_model
+from repro.analysis.reporting import bar, format_table
+from repro.core.models import Model
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig, paper_config
+
+DEFAULT_BUDGETS = (32, 64)
+DEFAULT_LATENCIES = (3, 6)
+
+
+@dataclass(frozen=True)
+class Figure8Cell:
+    """One bar of the figure: one (latency, budget, model) combination."""
+
+    latency: int
+    budget: int
+    model: Model
+    run: ModelRun
+    performance: float  # relative to Ideal, 1.0 = no loss
+
+    @property
+    def label(self) -> str:
+        return f"L={self.latency},R={self.budget}"
+
+
+def run_figure8(
+    loops: Sequence[Loop],
+    latencies: Sequence[int] = DEFAULT_LATENCIES,
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    models: Sequence[Model] = tuple(Model),
+) -> list[Figure8Cell]:
+    """Evaluate the full (latency x budget x model) grid."""
+    cells: list[Figure8Cell] = []
+    for latency in latencies:
+        machine = paper_config(latency)
+        ideal = run_model(loops, machine, Model.IDEAL, None)
+        for budget in budgets:
+            for model in models:
+                if model is Model.IDEAL:
+                    run = ideal
+                else:
+                    run = run_model(loops, machine, model, budget)
+                cells.append(
+                    Figure8Cell(
+                        latency=latency,
+                        budget=budget,
+                        model=model,
+                        run=run,
+                        performance=relative_performance(
+                            run.evaluations, ideal.evaluations
+                        ),
+                    )
+                )
+    return cells
+
+
+def format_report(cells: Sequence[Figure8Cell]) -> str:
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                cell.label,
+                cell.model.value,
+                f"{cell.performance:.3f}",
+                cell.run.loops_spilled,
+                cell.run.total_spills,
+                bar(cell.performance, width=30),
+            )
+        )
+    return format_table(
+        ["config", "model", "perf", "loops spilled", "values spilled", ""],
+        rows,
+        title="Figure 8 -- performance relative to infinite registers",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.workloads.suite import quick_suite
+
+    print(format_report(run_figure8(list(quick_suite(60)))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "DEFAULT_LATENCIES",
+    "Figure8Cell",
+    "format_report",
+    "run_figure8",
+]

@@ -1,0 +1,108 @@
+"""Figure 9: density of memory traffic for the four models.
+
+Density is the dynamic average fraction of the memory-bus bandwidth used per
+cycle (Section 5.4): spill code adds accesses, so the Unified model's
+density rises above the dual models' -- except at L6/R32 where all models
+carry heavy spill code and the densities converge.  The Ideal model gives
+the workload's intrinsic density floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.performance import ModelRun, run_model
+from repro.analysis.reporting import bar, format_table
+from repro.core.models import Model
+from repro.ir.loop import Loop
+from repro.machine.config import paper_config
+from repro.spill.traffic import aggregate_density, aggregate_traffic
+
+DEFAULT_BUDGETS = (32, 64)
+DEFAULT_LATENCIES = (3, 6)
+
+
+@dataclass(frozen=True)
+class Figure9Cell:
+    """One bar: density of one (latency, budget, model) combination."""
+
+    latency: int
+    budget: int
+    model: Model
+    run: ModelRun
+    density: float  # fraction of bus bandwidth, averaged per cycle
+    total_accesses: int
+
+    @property
+    def label(self) -> str:
+        return f"L={self.latency},R={self.budget}"
+
+
+def run_figure9(
+    loops: Sequence[Loop],
+    latencies: Sequence[int] = DEFAULT_LATENCIES,
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    models: Sequence[Model] = tuple(Model),
+) -> list[Figure9Cell]:
+    """Evaluate traffic density over the (latency x budget x model) grid."""
+    cells: list[Figure9Cell] = []
+    for latency in latencies:
+        machine = paper_config(latency)
+        ideal = run_model(loops, machine, Model.IDEAL, None)
+        for budget in budgets:
+            for model in models:
+                run = (
+                    ideal
+                    if model is Model.IDEAL
+                    else run_model(loops, machine, model, budget)
+                )
+                cells.append(
+                    Figure9Cell(
+                        latency=latency,
+                        budget=budget,
+                        model=model,
+                        run=run,
+                        density=aggregate_density(run.evaluations),
+                        total_accesses=aggregate_traffic(run.evaluations),
+                    )
+                )
+    return cells
+
+
+def format_report(cells: Sequence[Figure9Cell]) -> str:
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                cell.label,
+                cell.model.value,
+                f"{cell.density:.3f}",
+                cell.total_accesses,
+                bar(cell.density, width=30),
+            )
+        )
+    return format_table(
+        ["config", "model", "density", "accesses", ""],
+        rows,
+        title="Figure 9 -- density of memory traffic (bus fraction/cycle)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.workloads.suite import quick_suite
+
+    print(format_report(run_figure9(list(quick_suite(60)))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "DEFAULT_LATENCIES",
+    "Figure9Cell",
+    "format_report",
+    "run_figure9",
+]

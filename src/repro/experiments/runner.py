@@ -1,0 +1,95 @@
+"""Run every experiment and print the paper-shaped reports.
+
+Usage::
+
+    python -m repro.experiments.runner --loops 200                  # quick
+    python -m repro.experiments.runner --loops 800 --spill-loops 200  # paper scale
+
+``--spill-loops`` bounds only the spill-pipeline experiments (Figures 8 and
+9), which dominate the runtime; the distribution experiments always use the
+full requested suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    cost,
+    example_loop,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+)
+from repro.workloads.suite import perfect_club_like
+
+
+def run_all(n_loops: int = 200, spill_loops: int | None = None) -> str:
+    """Run every experiment; returns the concatenated report text."""
+    suite = perfect_club_like(n_loops)
+    loops = list(suite)
+    spill_subset = loops if spill_loops is None else list(
+        suite.subset(spill_loops)
+    )
+    sections = []
+
+    def timed(name: str, fn):
+        start = time.time()
+        text = fn()
+        elapsed = time.time() - start
+        sections.append(f"=== {name} ({elapsed:.1f}s) ===\n\n{text}")
+
+    timed(
+        "Tables 2/3/4 -- example loop",
+        lambda: example_loop.format_report(example_loop.run_example()),
+    )
+    timed(
+        "Table 1 -- PxLy allocatable loops",
+        lambda: table1.format_report(table1.run_table1(loops)),
+    )
+    timed(
+        "Figure 6 -- static distributions",
+        lambda: figure6.format_report(figure6.run_figure6(loops)),
+    )
+    timed(
+        "Figure 7 -- dynamic distributions",
+        lambda: figure7.format_report(figure7.run_figure7(loops)),
+    )
+    timed(
+        "Figure 8 -- performance",
+        lambda: figure8.format_report(figure8.run_figure8(spill_subset)),
+    )
+    timed(
+        "Figure 9 -- traffic density",
+        lambda: figure9.format_report(figure9.run_figure9(spill_subset)),
+    )
+    timed(
+        "Cost model -- Section 3.2",
+        lambda: cost.format_report(
+            [cost.run_cost_study(32), cost.run_cost_study(64)]
+        ),
+    )
+    return "\n\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loops", type=int, default=200)
+    parser.add_argument(
+        "--spill-loops",
+        type=int,
+        default=None,
+        help="subset size for the spill-pipeline figures (default: all)",
+    )
+    args = parser.parse_args()
+    print(run_all(args.loops, args.spill_loops))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
+
+
+__all__ = ["run_all"]

@@ -1,0 +1,37 @@
+"""Loop intermediate representation: operations, dependence graphs, builder."""
+
+from repro.ir.builder import BuilderError, LoopBuilder, Placeholder, Value
+from repro.ir.ddg import DependenceGraph, Edge, EdgeKind, GraphError
+from repro.ir.loop import Loop
+from repro.ir.operation import (
+    FU_CLASS_OF,
+    FuClass,
+    Immediate,
+    InvariantRef,
+    Operand,
+    Operation,
+    OpType,
+    ValueRef,
+)
+from repro.ir.validate import validate_graph
+
+__all__ = [
+    "BuilderError",
+    "DependenceGraph",
+    "Edge",
+    "EdgeKind",
+    "FU_CLASS_OF",
+    "FuClass",
+    "GraphError",
+    "Immediate",
+    "InvariantRef",
+    "Loop",
+    "LoopBuilder",
+    "Operand",
+    "Operation",
+    "OpType",
+    "Placeholder",
+    "Value",
+    "ValueRef",
+    "validate_graph",
+]

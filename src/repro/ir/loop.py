@@ -1,0 +1,51 @@
+"""Loop container: a dependence graph plus workload metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.ddg import DependenceGraph
+
+
+@dataclass
+class Loop:
+    """An innermost loop to be software pipelined.
+
+    Attributes:
+        name: Identifier used in reports.
+        graph: Body of the loop as a data-dependence graph.
+        trip_count: Estimated number of iterations executed per entry,
+            used to weight loops by execution time in the dynamic
+            distributions (paper, Figure 7) and in the performance and
+            traffic aggregates (Figures 8 and 9).
+        source: Optional human-readable statement of the loop body.
+    """
+
+    name: str
+    graph: DependenceGraph
+    trip_count: int = 100
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise ValueError("trip_count must be positive")
+
+    @property
+    def size(self) -> int:
+        """Number of operations in the loop body."""
+        return len(self.graph)
+
+    def with_graph(self, graph: DependenceGraph, suffix: str = "") -> "Loop":
+        """A copy of this loop with a different body (used by the spiller)."""
+        return Loop(
+            name=self.name + suffix,
+            graph=graph,
+            trip_count=self.trip_count,
+            source=self.source,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Loop({self.name!r}, ops={self.size}, trips={self.trip_count})"
+
+
+__all__ = ["Loop"]

@@ -1,0 +1,85 @@
+"""Structural validation of dependence graphs.
+
+A graph is schedulable by modulo scheduling only if every dependence cycle
+has a positive total distance (otherwise an operation would depend on itself
+within the same iteration).  Validation also enforces the arity conventions
+of the operation set.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ddg import DependenceGraph, GraphError
+from repro.ir.operation import OpType, ValueRef
+
+#: Expected operand counts per operation type (``None`` = no constraint).
+_ARITY: dict[OpType, int] = {
+    OpType.FADD: 2,
+    OpType.FSUB: 2,
+    OpType.FMUL: 2,
+    OpType.FDIV: 2,
+    OpType.FNEG: 1,
+    OpType.FCONV: 1,
+    OpType.LOAD: 0,
+    OpType.STORE: 1,
+}
+
+
+def validate_graph(graph: DependenceGraph) -> None:
+    """Raise :class:`~repro.ir.ddg.GraphError` if ``graph`` is malformed."""
+    if len(graph) == 0:
+        raise GraphError("empty dependence graph")
+    _check_arities(graph)
+    _check_symbols(graph)
+    _check_zero_distance_cycles(graph)
+
+
+def _check_arities(graph: DependenceGraph) -> None:
+    for op in graph.operations:
+        expected = _ARITY[op.optype]
+        if len(op.operands) != expected:
+            raise GraphError(
+                f"{op.name}: {op.optype.value} takes {expected} operands, "
+                f"got {len(op.operands)}"
+            )
+        for operand in op.operands:
+            if isinstance(operand, ValueRef):
+                if operand.producer == op.op_id and operand.distance == 0:
+                    raise GraphError(
+                        f"{op.name}: self-dependence with distance 0"
+                    )
+
+
+def _check_symbols(graph: DependenceGraph) -> None:
+    for op in graph.operations:
+        if op.optype.is_memory and not op.symbol:
+            raise GraphError(f"{op.name}: memory operation without a symbol")
+
+
+def _check_zero_distance_cycles(graph: DependenceGraph) -> None:
+    """Detect dependence cycles whose total distance is zero.
+
+    The subgraph of distance-0 edges must be acyclic; we check with an
+    iterative topological sort (Kahn's algorithm).
+    """
+    indegree = {op.op_id: 0 for op in graph.operations}
+    succs: dict[int, list[int]] = {op.op_id: [] for op in graph.operations}
+    for edge in graph.edges():
+        if edge.distance == 0:
+            succs[edge.src].append(edge.dst)
+            indegree[edge.dst] += 1
+    ready = [op_id for op_id, deg in indegree.items() if deg == 0]
+    visited = 0
+    while ready:
+        node = ready.pop()
+        visited += 1
+        for succ in succs[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if visited != len(graph):
+        raise GraphError(
+            f"{graph.name}: dependence cycle with zero total distance"
+        )
+
+
+__all__ = ["validate_graph"]

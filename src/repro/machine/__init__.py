@@ -1,0 +1,43 @@
+"""Machine descriptions: resource pools, configurations, cost models."""
+
+from repro.machine.config import (
+    ConfigError,
+    MachineConfig,
+    clustered_config,
+    example_config,
+    paper_config,
+    pxly,
+)
+from repro.machine.costmodel import (
+    CostModel,
+    OrganizationCost,
+    RegisterFileGeometry,
+    compare_organizations,
+)
+from repro.machine.resources import (
+    ADDER,
+    LOAD_PORT,
+    MEM,
+    MULT,
+    ResourcePool,
+    STORE_PORT,
+)
+
+__all__ = [
+    "ADDER",
+    "ConfigError",
+    "CostModel",
+    "LOAD_PORT",
+    "MEM",
+    "MULT",
+    "MachineConfig",
+    "OrganizationCost",
+    "clustered_config",
+    "RegisterFileGeometry",
+    "ResourcePool",
+    "STORE_PORT",
+    "compare_organizations",
+    "example_config",
+    "paper_config",
+    "pxly",
+]

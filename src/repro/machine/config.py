@@ -1,0 +1,248 @@
+"""Machine configurations.
+
+A :class:`MachineConfig` is everything the scheduler and allocator need to
+know about the target: resource pools, operation latencies, and how the
+functional units are grouped into clusters for the dual-register-file
+organizations.
+
+Factory functions build the configurations used in the paper:
+
+* :func:`paper_config` -- the Section 5.2 machine: 2 adders, 2 multipliers,
+  2 load/store units, FP latency 3 or 6, memory latency 1, two clusters of
+  (1 adder, 1 multiplier, 1 load/store) each.
+* :func:`pxly` -- the Table 1 machines: ``x`` adders and ``x`` multipliers of
+  latency ``y``, one store port and two load ports.
+* :func:`example_config` -- the Section 4.1 example machine: 2 adders,
+  2 multipliers and 4 load/store units (2 per cluster), FP latency 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.operation import FU_CLASS_OF, FuClass, Operation, OpType
+from repro.machine.resources import (
+    ADDER,
+    MEM,
+    MULT,
+    ResourcePool,
+    combined_memory_pools,
+    split_memory_pools,
+)
+
+
+class ConfigError(ValueError):
+    """Raised for inconsistent machine descriptions."""
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Description of one VLIW target.
+
+    Attributes:
+        name: e.g. ``"P2L6"`` or ``"paper-L3"``.
+        pools: Resource pools by name.
+        pool_of: Operation type -> pool name.
+        latency: Operation type -> result latency in cycles.
+        n_clusters: Number of register-file clusters (1 = unified only).
+    """
+
+    name: str
+    pools: tuple[ResourcePool, ...]
+    pool_of: dict[OpType, str] = field(hash=False)
+    latency: dict[OpType, int] = field(hash=False)
+    n_clusters: int = 2
+
+    def __post_init__(self) -> None:
+        pool_names = {p.name for p in self.pools}
+        if len(pool_names) != len(self.pools):
+            raise ConfigError("duplicate resource pool names")
+        for optype, pool in self.pool_of.items():
+            if pool not in pool_names:
+                raise ConfigError(f"{optype} mapped to unknown pool {pool!r}")
+        for optype in self.pool_of:
+            if self.latency.get(optype, 0) < 1:
+                raise ConfigError(f"latency of {optype} must be >= 1")
+        if self.n_clusters < 1:
+            raise ConfigError("n_clusters must be >= 1")
+
+    # ------------------------------------------------------------------
+    def pool(self, name: str) -> ResourcePool:
+        for p in self.pools:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def pool_for(self, op: Operation | OpType) -> str:
+        optype = op.optype if isinstance(op, Operation) else op
+        return self.pool_of[optype]
+
+    def latency_of(self, op: Operation | OpType) -> int:
+        optype = op.optype if isinstance(op, Operation) else op
+        return self.latency[optype]
+
+    def units(self, pool_name: str) -> int:
+        return self.pool(pool_name).count
+
+    def cluster_of_instance(self, pool_name: str, instance: int) -> int:
+        """Cluster owning unit ``instance`` of ``pool_name``.
+
+        Units are block-partitioned: with 4 load/store units and 2 clusters,
+        units 0-1 are the left cluster and units 2-3 the right cluster,
+        matching the example machine of Section 4.1.
+        """
+        count = self.units(pool_name)
+        if not 0 <= instance < count:
+            raise ConfigError(f"no instance {instance} in pool {pool_name!r}")
+        if self.n_clusters == 1:
+            return 0
+        return instance * self.n_clusters // count
+
+    def instances_in_cluster(self, pool_name: str, cluster: int) -> list[int]:
+        return [
+            i
+            for i in range(self.units(pool_name))
+            if self.cluster_of_instance(pool_name, i) == cluster
+        ]
+
+    @property
+    def memory_pools(self) -> list[str]:
+        """Names of pools that issue memory operations."""
+        return sorted(
+            {self.pool_of[t] for t in (OpType.LOAD, OpType.STORE)}
+        )
+
+    @property
+    def memory_bandwidth(self) -> int:
+        """Total memory operations that can issue per cycle (bus width)."""
+        return sum(self.units(p) for p in self.memory_pools)
+
+    def read_ports_per_cluster(self) -> int:
+        """Data read ports needed by one cluster's functional units.
+
+        Adders and multipliers read two operands; stores read the datum;
+        loads read no FP register (addresses live in the address processor).
+        """
+        reads = 0
+        for pool in self.pools:
+            per_cluster = len(self.instances_in_cluster(pool.name, 0))
+            if pool.name in (ADDER, MULT):
+                reads += 2 * per_cluster
+            else:
+                reads += 1 * per_cluster  # a store datum per memory unit
+        return reads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pools = ", ".join(f"{p.name}x{p.count}" for p in self.pools)
+        return f"MachineConfig({self.name!r}: {pools})"
+
+
+# ----------------------------------------------------------------------
+# Factory functions for the paper's configurations
+# ----------------------------------------------------------------------
+def paper_config(fp_latency: int = 3, mem_latency: int = 1) -> MachineConfig:
+    """The main experimental machine of Section 5.2.
+
+    2 adders, 2 multipliers, 2 load/store units; two clusters of one unit of
+    each kind; loads and stores have latency 1 (decoupled architecture /
+    perfect cache).
+    """
+    return MachineConfig(
+        name=f"paper-L{fp_latency}",
+        pools=(
+            ResourcePool(ADDER, 2),
+            ResourcePool(MULT, 2),
+            ResourcePool(MEM, 2),
+        ),
+        pool_of=combined_memory_pools(2),
+        latency=_latencies(fp_latency, mem_latency),
+        n_clusters=2,
+    )
+
+
+def example_config(fp_latency: int = 3, mem_latency: int = 1) -> MachineConfig:
+    """The Section 4.1 example machine: 2 adders, 2 multipliers, 4 ld/st."""
+    return MachineConfig(
+        name="example",
+        pools=(
+            ResourcePool(ADDER, 2),
+            ResourcePool(MULT, 2),
+            ResourcePool(MEM, 4),
+        ),
+        pool_of=combined_memory_pools(4),
+        latency=_latencies(fp_latency, mem_latency),
+        n_clusters=2,
+    )
+
+
+def clustered_config(
+    n_clusters: int,
+    fp_latency: int = 3,
+    mem_latency: int = 1,
+    adders_per_cluster: int = 1,
+    mults_per_cluster: int = 1,
+    mem_per_cluster: int = 1,
+) -> MachineConfig:
+    """A generalized n-cluster machine (paper's Section 4 discussion).
+
+    Each cluster contributes ``adders_per_cluster`` adders,
+    ``mults_per_cluster`` multipliers and ``mem_per_cluster`` load/store
+    units; with ``n_clusters=2`` and one unit of each kind this is exactly
+    :func:`paper_config`.
+    """
+    if n_clusters < 1:
+        raise ConfigError("n_clusters must be >= 1")
+    n_mem = mem_per_cluster * n_clusters
+    return MachineConfig(
+        name=f"clustered-{n_clusters}x-L{fp_latency}",
+        pools=(
+            ResourcePool(ADDER, adders_per_cluster * n_clusters),
+            ResourcePool(MULT, mults_per_cluster * n_clusters),
+            ResourcePool(MEM, n_mem),
+        ),
+        pool_of=combined_memory_pools(n_mem),
+        latency=_latencies(fp_latency, mem_latency),
+        n_clusters=n_clusters,
+    )
+
+
+def pxly(x: int, y: int, mem_latency: int = 1) -> MachineConfig:
+    """Table 1 machine PxLy: x adders + x multipliers of latency y,
+    one store port and two load ports."""
+    from repro.machine.resources import LOAD_PORT, STORE_PORT
+
+    return MachineConfig(
+        name=f"P{x}L{y}",
+        pools=(
+            ResourcePool(ADDER, x),
+            ResourcePool(MULT, x),
+            ResourcePool(LOAD_PORT, 2),
+            ResourcePool(STORE_PORT, 1),
+        ),
+        pool_of=split_memory_pools(),
+        latency=_latencies(y, mem_latency),
+        n_clusters=1,
+    )
+
+
+def _latencies(fp_latency: int, mem_latency: int) -> dict[OpType, int]:
+    return {
+        OpType.FADD: fp_latency,
+        OpType.FSUB: fp_latency,
+        OpType.FCONV: fp_latency,
+        OpType.FNEG: fp_latency,
+        OpType.FMUL: fp_latency,
+        OpType.FDIV: fp_latency,
+        OpType.LOAD: mem_latency,
+        OpType.STORE: mem_latency,
+    }
+
+
+__all__ = [
+    "ConfigError",
+    "MachineConfig",
+    "clustered_config",
+    "example_config",
+    "paper_config",
+    "pxly",
+]

@@ -1,0 +1,146 @@
+"""Area and access-time models for register files (paper, Section 3.2).
+
+The paper motivates dual register files with two published models:
+
+* **area** grows linearly with the number of registers and bits per register
+  and *quadratically* with the number of ports (Lee [17]); a port adds a
+  wordline/bitline pair, so cell area ~ (ports)^2;
+* **access time** grows logarithmically with the number of read ports and
+  logarithmically with the number of registers (Capitanio et al. [18]).
+
+These are *relative* models: absolute constants are irrelevant to the
+paper's argument, which only compares organizations.  The default constants
+are normalized so that a 32-register, 2-read/1-write-port file has area 1.0
+and access time 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegisterFileGeometry:
+    """Physical shape of one register subfile."""
+
+    registers: int
+    read_ports: int
+    write_ports: int
+    bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.registers < 1 or self.read_ports < 1 or self.write_ports < 1:
+            raise ValueError("geometry fields must be positive")
+
+    @property
+    def ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    @property
+    def specifier_bits(self) -> int:
+        """Bits needed in the instruction word to name one register."""
+        return max(1, math.ceil(math.log2(self.registers)))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parametric area / access-time model.
+
+    ``area = ka * registers * bits * ports**2``
+    ``access_time = kt * (log2(read_ports + 1) + log2(registers))``
+    """
+
+    ka: float = 1.0
+    kt: float = 1.0
+
+    _REF_AREA = 32 * 64 * (2 + 1) ** 2
+    _REF_TIME = math.log2(2 + 1) + math.log2(32)
+
+    def area(self, geom: RegisterFileGeometry) -> float:
+        raw = geom.registers * geom.bits * geom.ports**2
+        return self.ka * raw / self._REF_AREA
+
+    def access_time(self, geom: RegisterFileGeometry) -> float:
+        raw = math.log2(geom.read_ports + 1) + math.log2(geom.registers)
+        return self.kt * raw / self._REF_TIME
+
+
+@dataclass(frozen=True)
+class OrganizationCost:
+    """Cost summary of a complete register-file organization."""
+
+    name: str
+    total_area: float
+    access_time: float
+    specifier_bits: int
+    effective_capacity: str
+
+
+def compare_organizations(
+    registers: int,
+    read_ports: int,
+    write_ports: int,
+    bits: int = 64,
+    model: CostModel | None = None,
+) -> list[OrganizationCost]:
+    """Compare the four organizations discussed in the paper.
+
+    Args:
+        registers: Architectural register count (per subfile for the duals).
+        read_ports: Total read ports the functional units require.
+        write_ports: Total write ports the functional units require.
+
+    Returns a list with: unified, consistent dual, non-consistent dual and a
+    doubled unified file (the alternative the conclusions compare against).
+    A dual implementation halves the read ports of each subfile but keeps all
+    write ports (every unit can write both subfiles), exactly the POWER2
+    arrangement described in Section 3.2.
+    """
+    model = model or CostModel()
+    half_reads = max(1, read_ports // 2)
+
+    unified = RegisterFileGeometry(registers, read_ports, write_ports, bits)
+    sub = RegisterFileGeometry(registers, half_reads, write_ports, bits)
+    doubled = RegisterFileGeometry(2 * registers, read_ports, write_ports, bits)
+
+    return [
+        OrganizationCost(
+            name="unified",
+            total_area=model.area(unified),
+            access_time=model.access_time(unified),
+            specifier_bits=unified.specifier_bits,
+            effective_capacity=f"{registers} values",
+        ),
+        OrganizationCost(
+            name="consistent dual",
+            total_area=2 * model.area(sub),
+            access_time=model.access_time(sub),
+            specifier_bits=sub.specifier_bits,
+            effective_capacity=f"{registers} values (duplicated)",
+        ),
+        OrganizationCost(
+            name="non-consistent dual",
+            total_area=2 * model.area(sub),
+            access_time=model.access_time(sub),
+            specifier_bits=sub.specifier_bits,
+            effective_capacity=(
+                f"{registers}..{2 * registers} values (locals not duplicated)"
+            ),
+        ),
+        OrganizationCost(
+            name="doubled unified",
+            total_area=model.area(doubled),
+            access_time=model.access_time(doubled),
+            specifier_bits=doubled.specifier_bits,
+            effective_capacity=f"{2 * registers} values",
+        ),
+    ]
+
+
+__all__ = [
+    "CostModel",
+    "OrganizationCost",
+    "RegisterFileGeometry",
+    "compare_organizations",
+]

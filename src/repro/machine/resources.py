@@ -1,0 +1,84 @@
+"""Schedulable resources of the VLIW machine.
+
+The paper uses two resource regimes:
+
+* the main experiments (Section 5.2): 2 adders + 2 multipliers + 2 combined
+  load/store units, split into two symmetric clusters;
+* Table 1 (from [9]): x adders + x multipliers + *one store port and two
+  load ports* (loads and stores contend for different ports).
+
+Both are expressed as a set of :class:`ResourcePool` objects plus a mapping
+from operation type to the pool it occupies.  All functional units are fully
+pipelined: an operation occupies its unit for exactly one cycle at issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.operation import OpType
+
+
+@dataclass(frozen=True)
+class ResourcePool:
+    """A class of identical functional units.
+
+    Attributes:
+        name: e.g. ``"adder"``, ``"mult"``, ``"mem"``, ``"load"``, ``"store"``.
+        count: Number of identical units in the pool.
+    """
+
+    name: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"resource pool {self.name!r} needs count >= 1")
+
+
+#: Canonical pool names.
+ADDER = "adder"
+MULT = "mult"
+MEM = "mem"
+LOAD_PORT = "load"
+STORE_PORT = "store"
+
+
+def combined_memory_pools(n_mem: int) -> dict[OpType, str]:
+    """Operation->pool mapping with combined load/store units."""
+    return {
+        OpType.FADD: ADDER,
+        OpType.FSUB: ADDER,
+        OpType.FCONV: ADDER,
+        OpType.FNEG: ADDER,
+        OpType.FMUL: MULT,
+        OpType.FDIV: MULT,
+        OpType.LOAD: MEM,
+        OpType.STORE: MEM,
+    }
+
+
+def split_memory_pools() -> dict[OpType, str]:
+    """Operation->pool mapping with separate load and store ports."""
+    return {
+        OpType.FADD: ADDER,
+        OpType.FSUB: ADDER,
+        OpType.FCONV: ADDER,
+        OpType.FNEG: ADDER,
+        OpType.FMUL: MULT,
+        OpType.FDIV: MULT,
+        OpType.LOAD: LOAD_PORT,
+        OpType.STORE: STORE_PORT,
+    }
+
+
+__all__ = [
+    "ADDER",
+    "LOAD_PORT",
+    "MEM",
+    "MULT",
+    "ResourcePool",
+    "STORE_PORT",
+    "combined_memory_pools",
+    "split_memory_pools",
+]

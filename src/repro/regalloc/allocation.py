@@ -1,0 +1,54 @@
+"""High-level register allocation entry points for unified register files.
+
+The dual-file allocation (globals + per-cluster locals) lives in
+:mod:`repro.core.dualfile`; this module covers the *Unified* model, which also
+describes the consistent dual register file (both subfiles hold every value,
+so capacity equals a single file's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.regalloc.firstfit import (
+    AllocationResult,
+    first_fit,
+    verify_disjoint,
+)
+from repro.regalloc.lifetimes import Lifetime, lifetimes
+from repro.regalloc.maxlive import max_live
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class UnifiedAllocation:
+    """Unified register file allocation of one schedule."""
+
+    schedule: Schedule
+    lifetimes: dict[int, Lifetime]
+    result: AllocationResult
+    max_live: int
+
+    @property
+    def registers_required(self) -> int:
+        return self.result.registers_required
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+
+def allocate_unified(schedule: Schedule) -> UnifiedAllocation:
+    """Wands-only/first-fit allocation into a single register file."""
+    lts = lifetimes(schedule)
+    result = first_fit(lts.values(), schedule.ii)
+    verify_disjoint(result.placements.values())
+    return UnifiedAllocation(
+        schedule=schedule,
+        lifetimes=lts,
+        result=result,
+        max_live=max_live(lts.values(), schedule.ii),
+    )
+
+
+__all__ = ["UnifiedAllocation", "allocate_unified"]

@@ -1,0 +1,166 @@
+"""Code generation for modulo-scheduled loops.
+
+Section 2 of the paper assumes "architectural support for software pipelined
+loops without code replication (such as rotating register files and
+predicated execution)".  This module makes that assumption concrete by
+emitting the code both ways:
+
+* **rotating + predicated** (:func:`emit_rotating`): one kernel copy, II
+  instruction words total -- stage predicates handle pipeline fill and
+  drain, the rotating file renames instances;
+* **replicated** (:func:`emit_replicated`): what a machine *without* that
+  support needs -- an explicit prologue (the pipeline-fill cycles), the
+  steady-state kernel unrolled by the modulo-variable-expansion factor so
+  every concurrently live instance has a static register name, and an
+  explicit epilogue (the drain cycles).
+
+The replicated listing is derived from a flat issue map (operation ``v`` of
+iteration ``k`` issues at ``t_v + k*II``), so its sections are checkable:
+the kernel region is exactly periodic with period II, and the prologue and
+epilogue are the truncated boundary windows of that pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.regalloc.mve import allocate_mve
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class VliwInstruction:
+    """One VLIW word: the operations issuing in one cycle."""
+
+    cycle: int
+    section: str  # "prologue" | "kernel" | "epilogue"
+    slots: tuple[str, ...]  # rendered operations, one per busy unit
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.slots
+
+
+@dataclass(frozen=True)
+class CodeListing:
+    """A complete emitted loop."""
+
+    name: str
+    style: str  # "rotating" | "replicated"
+    instructions: tuple[VliwInstruction, ...]
+    kernel_copies: int
+
+    @property
+    def words(self) -> int:
+        """Instruction words -- the code-size metric.  Empty cycles count:
+        a VLIW must encode its nops."""
+        return len(self.instructions)
+
+    def section(self, name: str) -> list[VliwInstruction]:
+        return [i for i in self.instructions if i.section == name]
+
+    def render(self) -> str:
+        lines = [f"; {self.name} ({self.style})"]
+        current = None
+        for instr in self.instructions:
+            if instr.section != current:
+                current = instr.section
+                lines.append(f"{current}:")
+            body = " | ".join(instr.slots) if instr.slots else "nop"
+            lines.append(f"  {instr.cycle:>4}: {body}")
+        return "\n".join(lines)
+
+
+def _slot_text(schedule: Schedule, op_id: int, suffix: str = "") -> str:
+    op = schedule.graph.op(op_id)
+    p = schedule.placement(op_id)
+    stage = p.stage(schedule.ii)
+    return f"[{stage}] {op.name}@{p.pool}{p.instance}{suffix}"
+
+
+def emit_rotating(schedule: Schedule) -> CodeListing:
+    """One kernel copy: exactly II instruction words, any pipeline depth."""
+    rows: list[list[str]] = [[] for _ in range(schedule.ii)]
+    for op in schedule.graph.operations:
+        p = schedule.placement(op.op_id)
+        rows[p.row(schedule.ii)].append(_slot_text(schedule, op.op_id))
+    instructions = tuple(
+        VliwInstruction(cycle=row, section="kernel", slots=tuple(sorted(slots)))
+        for row, slots in enumerate(rows)
+    )
+    return CodeListing(
+        name=schedule.graph.name,
+        style="rotating",
+        instructions=instructions,
+        kernel_copies=1,
+    )
+
+
+def emit_replicated(schedule: Schedule) -> CodeListing:
+    """Explicit prologue + MVE-unrolled kernel + epilogue.
+
+    Built from the flat issue map of ``(stages - 1) + unroll`` iterations:
+    cycles before the steady state form the prologue, the next
+    ``unroll * II`` cycles form the kernel copies (instances renamed with a
+    ``#rN`` suffix, N = iteration mod unroll), and the drain cycles after
+    the last started iteration form the epilogue.
+    """
+    ii = schedule.ii
+    stages = schedule.stage_count
+    unroll = allocate_mve(schedule).unroll_factor
+    n_iterations = (stages - 1) + unroll
+
+    fill = (stages - 1) * ii  # cycles before the steady state
+    kernel_end = fill + unroll * ii
+    last_cycle = (n_iterations - 1) * ii + max(
+        p.time for p in schedule.placements.values()
+    )
+
+    slots_by_cycle: dict[int, list[str]] = {}
+    for op in schedule.graph.operations:
+        base = schedule.placement(op.op_id).time
+        for k in range(n_iterations):
+            cycle = base + k * ii
+            suffix = f"#r{k % unroll}"
+            slots_by_cycle.setdefault(cycle, []).append(
+                _slot_text(schedule, op.op_id, suffix)
+            )
+
+    instructions = []
+    for cycle in range(last_cycle + 1):
+        if cycle < fill:
+            section = "prologue"
+        elif cycle < kernel_end:
+            section = "kernel"
+        else:
+            section = "epilogue"
+        instructions.append(
+            VliwInstruction(
+                cycle=cycle,
+                section=section,
+                slots=tuple(sorted(slots_by_cycle.get(cycle, []))),
+            )
+        )
+    return CodeListing(
+        name=schedule.graph.name,
+        style="replicated",
+        instructions=tuple(instructions),
+        kernel_copies=unroll,
+    )
+
+
+def code_size_comparison(schedule: Schedule) -> dict[str, int]:
+    """Instruction-word counts of both styles (the Section 2 trade-off)."""
+    return {
+        "rotating": emit_rotating(schedule).words,
+        "replicated": emit_replicated(schedule).words,
+    }
+
+
+__all__ = [
+    "CodeListing",
+    "VliwInstruction",
+    "code_size_comparison",
+    "emit_replicated",
+    "emit_rotating",
+]

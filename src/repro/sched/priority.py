@@ -1,0 +1,54 @@
+"""Scheduling priorities for iterative modulo scheduling.
+
+Rau's IMS schedules operations in order of decreasing *height*: the length of
+the longest (latency-weighted, II-adjusted) path from the operation to any
+sink of the graph.  With loop-carried edges the height function is the
+fixpoint of
+
+    H(v) = max(0, max over edges v->w of H(w) + delay(e) - II * distance(e))
+
+which converges whenever II >= RecMII (no positive cycles).  We compute it
+with Bellman-Ford-style relaxation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ddg import DependenceGraph
+from repro.machine.config import MachineConfig
+from repro.sched.mii import edge_delay
+
+
+def heights(
+    graph: DependenceGraph, machine: MachineConfig, ii: int
+) -> dict[int, int]:
+    """Height-based priority of every operation for a candidate II."""
+    h = {op.op_id: 0 for op in graph.operations}
+    edges = [
+        (e.src, e.dst, edge_delay(e, graph, machine) - ii * e.distance)
+        for e in graph.edges()
+    ]
+    n = len(h)
+    for _ in range(n + 1):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = h[dst] + weight
+            if candidate > h[src]:
+                h[src] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        # Positive cycle: the caller passed II < RecMII.
+        raise ValueError(f"heights diverge: II={ii} below the recurrence bound")
+    return h
+
+
+def priority_order(
+    graph: DependenceGraph, machine: MachineConfig, ii: int
+) -> list[int]:
+    """Operation ids sorted by decreasing height (ties by id, deterministic)."""
+    h = heights(graph, machine, ii)
+    return sorted(h, key=lambda op_id: (-h[op_id], op_id))
+
+
+__all__ = ["heights", "priority_order"]

@@ -1,0 +1,211 @@
+"""Schedule data structures: placements, kernels, cluster assignment.
+
+A modulo schedule assigns every operation an issue *time* (non-negative,
+relative to iteration 0) and a concrete functional-unit *instance*.  The
+kernel row of an operation is ``time % II`` and its stage is ``time // II``
+(paper, Section 4.1: "numbers in brackets represent the stage each operation
+comes from").
+
+The unit instance determines the operation's initial *cluster* under the
+dual-register-file organizations; the swapping pass of :mod:`repro.core`
+produces new :class:`Schedule` objects with instances exchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ir.ddg import DependenceGraph, EdgeKind
+from repro.ir.operation import Operation
+from repro.machine.config import MachineConfig
+from repro.sched.mii import edge_delay
+
+
+class ScheduleError(ValueError):
+    """Raised for invalid schedules."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Issue slot of one operation."""
+
+    time: int
+    pool: str
+    instance: int
+
+    def row(self, ii: int) -> int:
+        return self.time % ii
+
+    def stage(self, ii: int) -> int:
+        return self.time // ii
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable modulo schedule of one loop body.
+
+    Attributes:
+        graph: The scheduled dependence graph.
+        machine: Target machine.
+        ii: Initiation interval.
+        placements: op_id -> :class:`Placement`.
+    """
+
+    graph: DependenceGraph
+    machine: MachineConfig
+    ii: int
+    placements: dict[int, Placement] = field(hash=False)
+
+    # ------------------------------------------------------------------
+    def time_of(self, op_id: int) -> int:
+        return self.placements[op_id].time
+
+    def placement(self, op_id: int) -> Placement:
+        return self.placements[op_id]
+
+    def cluster_of(self, op_id: int) -> int:
+        p = self.placements[op_id]
+        return self.machine.cluster_of_instance(p.pool, p.instance)
+
+    @property
+    def stage_count(self) -> int:
+        """Number of pipeline stages (depth of the software pipeline)."""
+        return max(p.stage(self.ii) for p in self.placements.values()) + 1
+
+    @property
+    def makespan(self) -> int:
+        """Cycles from the first issue to the last issue, plus one."""
+        times = [p.time for p in self.placements.values()]
+        return max(times) - min(times) + 1
+
+    def kernel_rows(self) -> list[list[Operation]]:
+        """Operations grouped by kernel row (time mod II), in time order."""
+        rows: list[list[Operation]] = [[] for _ in range(self.ii)]
+        for op in self.graph.operations:
+            rows[self.placements[op.op_id].row(self.ii)].append(op)
+        return rows
+
+    def ops_in_cluster(self, cluster: int) -> list[Operation]:
+        return [
+            op
+            for op in self.graph.operations
+            if self.cluster_of(op.op_id) == cluster
+        ]
+
+    # ------------------------------------------------------------------
+    def with_instances(self, swaps: dict[int, int]) -> "Schedule":
+        """A copy with some operations moved to different unit instances.
+
+        ``swaps`` maps op_id -> new instance (same pool, same time); used by
+        the swapping pass.  Resource feasibility is re-verified.
+        """
+        new_placements = dict(self.placements)
+        for op_id, instance in swaps.items():
+            p = new_placements[op_id]
+            if not 0 <= instance < self.machine.units(p.pool):
+                raise ScheduleError(
+                    f"instance {instance} out of range for pool {p.pool!r}"
+                )
+            new_placements[op_id] = replace(p, instance=instance)
+        sched = Schedule(self.graph, self.machine, self.ii, new_placements)
+        sched.verify(check_dependences=False)
+        return sched
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self, check_dependences: bool = True) -> None:
+        """Raise :class:`ScheduleError` on constraint violations.
+
+        Checks that every operation is placed exactly once, that no unit
+        instance is oversubscribed in any kernel row, and (optionally) that
+        every dependence edge is satisfied:
+        ``t(dst) >= t(src) + delay(e) - II * distance(e)``.
+        """
+        if self.ii < 1:
+            raise ScheduleError("II must be >= 1")
+        op_ids = {op.op_id for op in self.graph.operations}
+        if set(self.placements) != op_ids:
+            raise ScheduleError("placements do not cover the graph exactly")
+        occupied: dict[tuple[int, str, int], int] = {}
+        for op_id, p in self.placements.items():
+            if p.time < 0:
+                raise ScheduleError(f"op {op_id} scheduled at negative time")
+            key = (p.row(self.ii), p.pool, p.instance)
+            if key in occupied:
+                raise ScheduleError(
+                    f"ops {occupied[key]} and {op_id} share unit "
+                    f"{p.pool}[{p.instance}] in row {key[0]}"
+                )
+            if not 0 <= p.instance < self.machine.units(p.pool):
+                raise ScheduleError(f"op {op_id}: bad instance {p.instance}")
+            if self.machine.pool_for(self.graph.op(op_id)) != p.pool:
+                raise ScheduleError(f"op {op_id} placed on wrong pool {p.pool}")
+            occupied[key] = op_id
+        if check_dependences:
+            for edge in self.graph.edges():
+                delay = edge_delay(edge, self.graph, self.machine)
+                lhs = self.time_of(edge.dst)
+                rhs = self.time_of(edge.src) + delay - self.ii * edge.distance
+                if lhs < rhs:
+                    raise ScheduleError(
+                        f"dependence {edge.src}->{edge.dst} violated: "
+                        f"t={lhs} < {rhs}"
+                    )
+
+    def format_kernel(self) -> str:
+        """Human-readable kernel table (one line per row, stage in brackets)."""
+        lines = []
+        for row_idx, ops in enumerate(self.kernel_rows()):
+            cells = [
+                f"[{self.placements[op.op_id].stage(self.ii)}] {op.name}"
+                f"@{self.placements[op.op_id].pool}"
+                f"{self.placements[op.op_id].instance}"
+                for op in sorted(ops, key=lambda o: self.placements[o.op_id].time)
+            ]
+            lines.append(f"row {row_idx}: " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def format_kernel_clustered(self) -> str:
+        """The paper's Figure 4/5 kernel layout: one line per kernel row,
+        one column per (cluster, unit), stage numbers in brackets."""
+        columns: list[tuple[int, str, int]] = []
+        for cluster in range(self.machine.n_clusters):
+            for pool in self.machine.pools:
+                for instance in self.machine.instances_in_cluster(
+                    pool.name, cluster
+                ):
+                    columns.append((cluster, pool.name, instance))
+        occupancy: dict[tuple[int, str, int], dict[int, str]] = {
+            key: {} for key in columns
+        }
+        for op in self.graph.operations:
+            p = self.placements[op.op_id]
+            cluster = self.machine.cluster_of_instance(p.pool, p.instance)
+            occupancy[(cluster, p.pool, p.instance)][p.row(self.ii)] = (
+                f"[{p.stage(self.ii)}] {op.name}"
+            )
+        headers = [
+            f"C{cluster}.{pool}{instance}"
+            for cluster, pool, instance in columns
+        ]
+        width = max(
+            [len(h) for h in headers]
+            + [
+                len(cell)
+                for cells in occupancy.values()
+                for cell in cells.values()
+            ]
+        )
+        lines = ["  ".join(h.ljust(width) for h in headers)]
+        for row in range(self.ii):
+            lines.append(
+                "  ".join(
+                    occupancy[key].get(row, "nop").ljust(width)
+                    for key in columns
+                )
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["Placement", "Schedule", "ScheduleError"]

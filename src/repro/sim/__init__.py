@@ -1,0 +1,31 @@
+"""Cycle-level kernel simulator: functional register files + verification."""
+
+from repro.sim.executor import (
+    PortStats,
+    SimulationError,
+    SimulationReport,
+    execute_kernel,
+)
+from repro.sim.reference import (
+    ReferenceInterpreter,
+    apply_op,
+    array_value,
+    initial_value,
+    invariant_value,
+)
+from repro.sim.regfile import Cell, RegisterFile, RegisterFileError
+
+__all__ = [
+    "Cell",
+    "PortStats",
+    "ReferenceInterpreter",
+    "RegisterFile",
+    "RegisterFileError",
+    "SimulationError",
+    "SimulationReport",
+    "apply_op",
+    "array_value",
+    "execute_kernel",
+    "initial_value",
+    "invariant_value",
+]

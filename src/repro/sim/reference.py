@@ -1,0 +1,124 @@
+"""Reference (golden-model) interpreter for loop dataflow.
+
+The cycle-level executor checks every register read against this direct
+interpretation of the dependence graph, so a scheduling or allocation bug
+(an overwritten live register, a violated dependence) surfaces as a value
+mismatch instead of going unnoticed.
+
+Semantics:
+
+* loads without an incoming memory edge read a synthetic array:
+  a deterministic, positive value derived from (symbol, iteration);
+* loads fed by a store through a memory edge (spill reloads) return the
+  value stored ``distance`` iterations earlier;
+* loop-carried operands with ``k - distance < 0`` take deterministic
+  initial values (the live-in state of the software pipeline's prologue);
+* division treats a zero divisor as 1.0 so synthetic dataflow can never
+  fault -- the executor uses the same rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir.ddg import DependenceGraph, EdgeKind
+from repro.ir.operation import Immediate, InvariantRef, Operation, OpType, ValueRef
+
+
+def _hashed_unit(*key: object) -> float:
+    """Deterministic value in [1.0, 2.0) derived from ``key``."""
+    digest = hashlib.sha256(repr(key).encode()).digest()
+    return 1.0 + int.from_bytes(digest[:4], "big") / 2**32
+
+
+def array_value(symbol: str, iteration: int) -> float:
+    """Synthetic contents of array ``symbol`` at index ``iteration``."""
+    return _hashed_unit("array", symbol, iteration)
+
+
+def invariant_value(name: str) -> float:
+    """Value of a loop invariant (general register file)."""
+    return _hashed_unit("invariant", name)
+
+
+def initial_value(op_id: int, iteration: int) -> float:
+    """Live-in value of a loop-carried variant for pre-loop iterations."""
+    return _hashed_unit("initial", op_id, iteration)
+
+
+def apply_op(op: Operation, inputs: list[float]) -> float:
+    """Arithmetic semantics of one operation."""
+    t = op.optype
+    if t is OpType.FADD:
+        return inputs[0] + inputs[1]
+    if t is OpType.FSUB:
+        return inputs[0] - inputs[1]
+    if t is OpType.FMUL:
+        return inputs[0] * inputs[1]
+    if t is OpType.FDIV:
+        divisor = inputs[1] if inputs[1] != 0.0 else 1.0
+        return inputs[0] / divisor
+    if t is OpType.FNEG:
+        return -inputs[0]
+    if t is OpType.FCONV:
+        return float(inputs[0])
+    if t is OpType.STORE:
+        return inputs[0]
+    raise ValueError(f"{op.name}: no arithmetic semantics for {t}")
+
+
+class ReferenceInterpreter:
+    """Memoizing evaluator of (operation, iteration) -> value."""
+
+    def __init__(self, graph: DependenceGraph) -> None:
+        self.graph = graph
+        self._memo: dict[tuple[int, int], float] = {}
+        #: load op_id -> (store op_id, distance) for memory-fed loads.
+        self.reload_source: dict[int, tuple[int, int]] = {}
+        for edge in graph.extra_edges():
+            if edge.kind is not EdgeKind.MEMORY:
+                continue
+            src = graph.op(edge.src)
+            dst = graph.op(edge.dst)
+            if src.optype is OpType.STORE and dst.optype is OpType.LOAD:
+                self.reload_source[dst.op_id] = (src.op_id, edge.distance)
+
+    def value(self, op_id: int, iteration: int) -> float:
+        """Value defined (or stored) by ``op_id`` in ``iteration``."""
+        if iteration < 0:
+            return initial_value(op_id, iteration)
+        key = (op_id, iteration)
+        if key in self._memo:
+            return self._memo[key]
+        op = self.graph.op(op_id)
+        if op.optype is OpType.LOAD:
+            if op.op_id in self.reload_source:
+                store_id, distance = self.reload_source[op.op_id]
+                result = self.value(store_id, iteration - distance)
+            else:
+                result = array_value(op.symbol or "?", iteration)
+        else:
+            inputs = []
+            for operand in op.operands:
+                if isinstance(operand, ValueRef):
+                    inputs.append(
+                        self.value(operand.producer, iteration - operand.distance)
+                    )
+                elif isinstance(operand, InvariantRef):
+                    inputs.append(invariant_value(operand.name))
+                elif isinstance(operand, Immediate):
+                    inputs.append(operand.value)
+                else:  # pragma: no cover - exhaustive
+                    raise TypeError(f"unknown operand {operand!r}")
+            result = apply_op(op, inputs)
+        self._memo[key] = result
+        return result
+
+
+__all__ = [
+    "ReferenceInterpreter",
+    "apply_op",
+    "array_value",
+    "initial_value",
+    "invariant_value",
+]

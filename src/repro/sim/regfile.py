@@ -1,0 +1,100 @@
+"""Functional model of rotating register files (unified or dual subfiles).
+
+Physical mapping.  The wands-only allocator assigns each loop variant ``v`` a
+shift ``o_v`` (see :mod:`repro.regalloc.firstfit`); iteration ``k``'s
+instance then lives in physical register ``(k - o_v) mod R`` for its whole
+lifetime.  Two placed lifetimes that do not overlap after the shear
+transform never collide in a file of ``R = ceil(span / II)`` registers --
+the simulator asserts this dynamically by tagging each cell with its owner.
+
+The dual register file is two :class:`RegisterFile` objects; global values
+are placed identically in both (consistent duplicated copies), local values
+only in their cluster's subfile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regalloc.firstfit import PlacedLifetime
+
+
+class RegisterFileError(RuntimeError):
+    """A dynamic register-file consistency violation (allocation bug)."""
+
+
+@dataclass
+class Cell:
+    """One physical register."""
+
+    owner: tuple[int, int] | None = None  # (op_id, iteration)
+    value: float = 0.0
+    written_at: int = -1
+
+
+class RegisterFile:
+    """One rotating register subfile with owner-tagged cells."""
+
+    def __init__(
+        self,
+        name: str,
+        registers: int,
+        placements: dict[int, PlacedLifetime],
+        ii: int,
+    ) -> None:
+        if registers < 0:
+            raise ValueError("register count must be non-negative")
+        self.name = name
+        self.registers = registers
+        self.ii = ii
+        self.placements = placements
+        self.cells = [Cell() for _ in range(max(1, registers))]
+        self.reads = 0
+        self.writes = 0
+
+    def holds(self, op_id: int) -> bool:
+        return op_id in self.placements
+
+    def physical_register(self, op_id: int, iteration: int) -> int:
+        """Physical cell of iteration ``iteration``'s instance of a value."""
+        placed = self.placements[op_id]
+        return (iteration - placed.shift) % max(1, self.registers)
+
+    def write(self, op_id: int, iteration: int, value: float, time: int) -> int:
+        """Write an instance into its cell; returns the cell index."""
+        if not self.holds(op_id):
+            raise RegisterFileError(
+                f"{self.name}: value {op_id} is not allocated here"
+            )
+        reg = self.physical_register(op_id, iteration)
+        cell = self.cells[reg]
+        cell.owner = (op_id, iteration)
+        cell.value = value
+        cell.written_at = time
+        self.writes += 1
+        return reg
+
+    def read(self, op_id: int, iteration: int, time: int) -> float:
+        """Read an instance, checking ownership and write-before-read."""
+        if not self.holds(op_id):
+            raise RegisterFileError(
+                f"{self.name}: value {op_id} is not allocated here"
+            )
+        reg = self.physical_register(op_id, iteration)
+        cell = self.cells[reg]
+        if cell.owner != (op_id, iteration):
+            raise RegisterFileError(
+                f"{self.name}: r{reg} holds {cell.owner}, "
+                f"expected ({op_id}, {iteration}) at cycle {time} -- "
+                "a live register was overwritten"
+            )
+        if cell.written_at > time:
+            raise RegisterFileError(
+                f"{self.name}: r{reg} read at {time} before write at "
+                f"{cell.written_at}"
+            )
+        self.reads += 1
+        return cell.value
+
+
+__all__ = ["Cell", "RegisterFile", "RegisterFileError"]

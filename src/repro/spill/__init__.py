@@ -1,0 +1,31 @@
+"""Spill-code insertion and memory-traffic metrics."""
+
+from repro.spill.spiller import (
+    LoopEvaluation,
+    SpillError,
+    evaluate_loop,
+    pick_victim,
+    spill_value,
+    spillable_values,
+)
+from repro.spill.traffic import (
+    aggregate_density,
+    aggregate_traffic,
+    loop_density,
+    memory_ops,
+    spill_memory_ops,
+)
+
+__all__ = [
+    "LoopEvaluation",
+    "SpillError",
+    "aggregate_density",
+    "aggregate_traffic",
+    "evaluate_loop",
+    "loop_density",
+    "memory_ops",
+    "pick_victim",
+    "spill_memory_ops",
+    "spill_value",
+    "spillable_values",
+]

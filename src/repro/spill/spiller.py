@@ -1,0 +1,281 @@
+"""The paper's "naive" spiller and the per-loop evaluation pipeline.
+
+Section 5.4 pseudo-code::
+
+    DO
+      modulo scheduling
+      register allocation
+      IF registers needed > physical registers
+        select a value to spill out        (the one with the highest lifetime)
+        modify the dependence graph
+    UNTIL registers needed <= physical registers
+
+Spilling a value rewrites the graph: a spill *store* is added after the
+producer, and each consumer is redirected to its own spill *load* (so the
+spilled value's register lifetime shrinks to producer-to-store, and each
+reload lives only from the load to its consumer).  Store and loads are
+connected by memory dependences carrying the original iteration distance.
+
+Termination fallback: the naive policy alone cannot always reach the budget
+(e.g. every value already spilled).  When no spillable candidate remains,
+we reschedule with ``II + 1`` -- the paper's first alternative in Section 5.4
+("reschedule the loop with an increased II") -- and record that the loop
+needed it.  A round cap guards against pathological cases; loops that still
+do not fit are flagged (``fits=False``) rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models import Model, Requirement, required_registers
+from repro.core.swapping import SwapEstimator
+from repro.ir.ddg import DependenceGraph, EdgeKind
+from repro.ir.loop import Loop
+from repro.ir.operation import OpType, ValueRef
+from repro.machine.config import MachineConfig
+from repro.regalloc.lifetimes import lifetimes
+from repro.sched.mii import minimum_ii
+from repro.sched.modulo import modulo_schedule
+from repro.sched.schedule import Schedule
+
+
+class SpillError(RuntimeError):
+    """Raised when a value cannot be spilled."""
+
+
+def spill_value(graph: DependenceGraph, op_id: int) -> DependenceGraph:
+    """Return a new graph with the value of ``op_id`` spilled to memory."""
+    producer = graph.op(op_id)
+    if not producer.defines_value:
+        raise SpillError(f"{producer.name} defines no value")
+    consumers = graph.consumers(op_id)
+    if not consumers:
+        raise SpillError(f"{producer.name} has no consumers; nothing to spill")
+
+    new_graph = graph.copy()
+    symbol = f"spill.{producer.name}"
+    store = new_graph.add_operation(
+        OpType.STORE,
+        (ValueRef(op_id, 0),),
+        name=f"sst.{producer.name}",
+        symbol=symbol,
+        is_spill=True,
+    )
+    # One reload per (consumer, distance); a consumer using the value twice
+    # at the same distance shares one load.
+    reloads: dict[tuple[int, int], int] = {}
+    for consumer, distance in consumers:
+        key = (consumer.op_id, distance)
+        if key in reloads:
+            continue
+        load = new_graph.add_operation(
+            OpType.LOAD,
+            (),
+            name=f"sld.{producer.name}.{consumer.name}",
+            symbol=symbol,
+            is_spill=True,
+        )
+        new_graph.add_edge(
+            store.op_id,
+            load.op_id,
+            kind=EdgeKind.MEMORY,
+            distance=distance,
+            min_delay=1,
+        )
+        reloads[key] = load.op_id
+    rewired: set[int] = set()
+    for consumer, _distance in consumers:
+        if consumer.op_id in rewired:
+            continue
+        rewired.add(consumer.op_id)
+        operands = []
+        for operand in new_graph.op(consumer.op_id).operands:
+            if isinstance(operand, ValueRef) and operand.producer == op_id:
+                operands.append(ValueRef(reloads[(consumer.op_id, operand.distance)], 0))
+            else:
+                operands.append(operand)
+        new_graph.set_operands(consumer.op_id, operands)
+    return new_graph
+
+
+def spillable_values(graph: DependenceGraph) -> list[int]:
+    """Values the naive spiller may pick: non-spill values with consumers."""
+    result = []
+    for op in graph.values():
+        if op.is_spill:
+            continue
+        consumers = graph.consumers(op.op_id)
+        if not consumers:
+            continue
+        # Skip values already spilled (their only consumer is a spill store).
+        if all(c.is_spill and c.optype is OpType.STORE for c, _ in consumers):
+            continue
+        result.append(op.op_id)
+    return result
+
+
+#: Victim-selection policies for the spiller.  ``longest`` is the paper's
+#: ("the value with the highest lifetime, which in general will free a
+#: higher number of registers"); the others exist for the ablation study.
+VICTIM_POLICIES = ("longest", "most_registers", "first")
+
+
+def pick_victim(schedule: Schedule, policy: str = "longest") -> int | None:
+    """Select the value to spill under ``policy`` (ties: lowest id).
+
+    * ``longest`` -- highest lifetime (the paper's naive policy);
+    * ``most_registers`` -- most simultaneously-live instances,
+      ``ceil(lifetime / II)``: what the lifetime actually costs in registers;
+    * ``first`` -- lowest op id (a deliberately bad baseline).
+    """
+    candidates = spillable_values(schedule.graph)
+    if not candidates:
+        return None
+    lts = lifetimes(schedule)
+    if policy == "longest":
+        return max(candidates, key=lambda i: (lts[i].length, -i))
+    if policy == "most_registers":
+        return max(
+            candidates,
+            key=lambda i: (-(-lts[i].length // schedule.ii), -i),
+        )
+    if policy == "first":
+        return min(candidates)
+    raise ValueError(f"unknown victim policy {policy!r}")
+
+
+@dataclass(frozen=True)
+class LoopEvaluation:
+    """Final state of one loop under one model and register budget."""
+
+    loop: Loop
+    machine: MachineConfig
+    model: Model
+    register_budget: int | None
+    schedule: Schedule
+    requirement: Requirement
+    mii: int
+    spilled_values: int
+    ii_increases: int
+    fits: bool
+
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+    @property
+    def cycles(self) -> int:
+        """Steady-state execution cycles: trip count times the final II."""
+        return self.loop.trip_count * self.ii
+
+    @property
+    def memory_ops_per_iteration(self) -> int:
+        return len(self.schedule.graph.memory_operations())
+
+    @property
+    def spill_ops_per_iteration(self) -> int:
+        return sum(
+            1 for op in self.schedule.graph.memory_operations() if op.is_spill
+        )
+
+    @property
+    def traffic_density(self) -> float:
+        """Average fraction of the memory bus used per cycle."""
+        bandwidth = self.machine.memory_bandwidth
+        return self.memory_ops_per_iteration / (self.ii * bandwidth)
+
+
+def evaluate_loop(
+    loop: Loop,
+    machine: MachineConfig,
+    model: Model,
+    register_budget: int | None = None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+    max_rounds: int = 200,
+    victim_policy: str = "longest",
+    pressure_strategy: str = "spill",
+) -> LoopEvaluation:
+    """Run the full schedule/allocate/spill pipeline for one loop.
+
+    ``register_budget`` is the size of the register file: of the single file
+    for Unified, and of *each subfile* for Partitioned/Swapped (the paper
+    compares a 32-register unified file against a dual file of two
+    32-register subfiles -- same specifier width, roughly the same area as
+    the consistent dual implementation).  ``None`` (or the Ideal model)
+    disables spilling.
+
+    ``pressure_strategy`` selects among the Section 5.4 alternatives:
+    ``"spill"`` is the paper's choice (naive spiller, II fallback);
+    ``"increase_ii"`` is the paper's first alternative -- never spill, just
+    reschedule at II + 1 until the requirement fits ("this option would
+    produce an extremely inefficient code"; the A3 ablation quantifies it).
+    """
+    if pressure_strategy not in ("spill", "increase_ii"):
+        raise ValueError(f"unknown pressure strategy {pressure_strategy!r}")
+    graph = loop.graph
+    mii = minimum_ii(graph, machine).mii
+    budget = None if model is Model.IDEAL else register_budget
+    min_ii = 1
+    spilled = 0
+    ii_increases = 0
+    fits = True
+    # Plateau detection: when only II increases remain and the requirement
+    # stops shrinking, the pressure is issue-burst-bound (the scheduler
+    # packs producers densely whatever the II) and no amount of rescheduling
+    # helps -- give up honestly instead of spinning to max_rounds.
+    stale_increases = 0
+    best_requirement: int | None = None
+
+    for _ in range(max_rounds):
+        schedule = modulo_schedule(graph, machine, min_ii=min_ii)
+        requirement = required_registers(
+            schedule, model, swap_estimator=swap_estimator
+        )
+        if budget is None or requirement.registers <= budget:
+            break
+        victim = (
+            pick_victim(schedule, policy=victim_policy)
+            if pressure_strategy == "spill"
+            else None
+        )
+        if victim is None:
+            if best_requirement is None or requirement.registers < best_requirement:
+                best_requirement = requirement.registers
+                stale_increases = 0
+            else:
+                stale_increases += 1
+                if stale_increases >= 8:
+                    fits = False
+                    break
+            min_ii = schedule.ii + 1
+            ii_increases += 1
+            continue
+        graph = spill_value(graph, victim)
+        spilled += 1
+    else:
+        fits = budget is None or requirement.registers <= budget
+
+    return LoopEvaluation(
+        loop=loop,
+        machine=machine,
+        model=model,
+        register_budget=register_budget,
+        schedule=schedule,
+        requirement=requirement,
+        mii=mii,
+        spilled_values=spilled,
+        ii_increases=ii_increases,
+        fits=fits,
+    )
+
+
+__all__ = [
+    "LoopEvaluation",
+    "SpillError",
+    "VICTIM_POLICIES",
+    "evaluate_loop",
+    "pick_victim",
+    "spill_value",
+    "spillable_values",
+]

@@ -1,0 +1,37 @@
+"""Workloads: hand-written kernels, synthetic generator, suites."""
+
+from repro.workloads.kernels import (
+    all_kernels,
+    example_loop,
+    kernel_names,
+    make_kernel,
+)
+from repro.workloads.suite import (
+    DEFAULT_SEED,
+    DEFAULT_SUITE_SIZE,
+    Suite,
+    perfect_club_like,
+    quick_suite,
+)
+from repro.workloads.synthetic import (
+    SizeClass,
+    SyntheticConfig,
+    generate_loop,
+    generate_suite,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_SUITE_SIZE",
+    "SizeClass",
+    "Suite",
+    "SyntheticConfig",
+    "all_kernels",
+    "example_loop",
+    "generate_loop",
+    "generate_suite",
+    "kernel_names",
+    "make_kernel",
+    "perfect_club_like",
+    "quick_suite",
+]

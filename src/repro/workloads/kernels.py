@@ -1,0 +1,724 @@
+"""Hand-written floating-point loop kernels.
+
+The paper's workload is ~800 innermost loops of the Perfect Club.  Those
+dependence graphs are not available, so this module provides the classic
+floating-point kernel shapes that dominate such suites -- BLAS level-1
+operations, Livermore-style kernels, stencils, reductions, recurrences,
+Horner chains -- written with the :class:`~repro.ir.builder.LoopBuilder` DSL.
+They anchor the synthetic generator (:mod:`repro.workloads.synthetic`) with
+realistic graphs and serve as integration-test subjects.
+
+:func:`example_loop` is the worked example of the paper's Section 4.1 and is
+pinned by golden tests (Tables 2, 3 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+
+KernelFactory = Callable[[], Loop]
+
+_REGISTRY: dict[str, KernelFactory] = {}
+
+
+def kernel(factory: KernelFactory) -> KernelFactory:
+    """Register a kernel factory under its function name."""
+    _REGISTRY[factory.__name__] = factory
+    return factory
+
+
+def kernel_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def make_kernel(name: str) -> Loop:
+    return _REGISTRY[name]()
+
+
+def all_kernels() -> list[Loop]:
+    """Instantiate every registered kernel."""
+    return [make_kernel(name) for name in kernel_names()]
+
+
+# ----------------------------------------------------------------------
+# The paper's example (Section 4.1)
+# ----------------------------------------------------------------------
+def example_loop(trip_count: int = 1000) -> Loop:
+    """The worked example of the paper.
+
+    ``z(i) = x(i) + t * (r * x(i) + y(i))`` -- two loads, one multiply by the
+    invariant ``r``, an add, a multiply by the invariant ``t``, an add with
+    ``x(i)`` again, and a store: exactly the dependence structure of
+    Figure 2b (L1 feeds M3 and A6; M3 feeds A4; A4 feeds M5; M5 feeds A6;
+    A6 feeds S7; L2 feeds A4).
+    """
+    b = LoopBuilder("example-4.1")
+    l1 = b.load("x", name="L1")
+    l2 = b.load("y", name="L2")
+    m3 = b.mul(l1, b.inv("r"), name="M3")
+    a4 = b.add(m3, l2, name="A4")
+    m5 = b.mul(a4, b.inv("t"), name="M5")
+    a6 = b.add(l1, m5, name="A6")
+    b.store(a6, "z", name="S7")
+    return b.build(
+        trip_count=trip_count,
+        source="z(i) = x(i) + t*(r*x(i) + y(i))",
+    )
+
+
+# ----------------------------------------------------------------------
+# BLAS level 1 and friends
+# ----------------------------------------------------------------------
+@kernel
+def daxpy() -> Loop:
+    b = LoopBuilder("daxpy")
+    x = b.load("x")
+    y = b.load("y")
+    b.store(b.add(b.mul(b.inv("a"), x), y), "y")
+    return b.build(trip_count=2000, source="y(i) = y(i) + a*x(i)")
+
+
+@kernel
+def dot_product() -> Loop:
+    b = LoopBuilder("dot_product")
+    acc = b.placeholder()
+    s = b.add(acc, b.mul(b.load("x"), b.load("y")), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=2000, source="s = s + x(i)*y(i)")
+
+
+@kernel
+def vector_scale() -> Loop:
+    b = LoopBuilder("vector_scale")
+    b.store(b.mul(b.inv("a"), b.load("x")), "y")
+    return b.build(trip_count=1500, source="y(i) = a*x(i)")
+
+
+@kernel
+def vector_add() -> Loop:
+    b = LoopBuilder("vector_add")
+    b.store(b.add(b.load("x"), b.load("y")), "z")
+    return b.build(trip_count=1500, source="z(i) = x(i) + y(i)")
+
+
+@kernel
+def triad() -> Loop:
+    b = LoopBuilder("triad")
+    b.store(b.add(b.load("b"), b.mul(b.inv("q"), b.load("c"))), "a")
+    return b.build(trip_count=1800, source="a(i) = b(i) + q*c(i)")
+
+
+@kernel
+def sum_reduction() -> Loop:
+    b = LoopBuilder("sum_reduction")
+    acc = b.placeholder()
+    s = b.add(acc, b.load("x"), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=2500, source="s = s + x(i)")
+
+
+@kernel
+def sxpy_norm() -> Loop:
+    b = LoopBuilder("sxpy_norm")
+    acc = b.placeholder()
+    x = b.load("x")
+    s = b.add(acc, b.mul(x, x), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=1200, source="s = s + x(i)**2")
+
+
+@kernel
+def rsqrt_newton() -> Loop:
+    """One Newton step of 1/sqrt on each element (mul/add heavy)."""
+    b = LoopBuilder("rsqrt_newton")
+    x = b.load("x")
+    y = b.load("y")  # current estimate
+    yy = b.mul(y, y)
+    xyy = b.mul(x, yy)
+    half = b.mul(b.inv("half"), y)
+    corr = b.sub(b.inv("three"), xyy)
+    b.store(b.mul(half, corr), "y")
+    return b.build(trip_count=800, source="y = 0.5*y*(3 - x*y*y)")
+
+
+# ----------------------------------------------------------------------
+# Livermore-style kernels
+# ----------------------------------------------------------------------
+@kernel
+def hydro_fragment() -> Loop:
+    """Livermore kernel 1: x(i) = q + y(i)*(r*z(i+10) + t*z(i+11))."""
+    b = LoopBuilder("hydro_fragment")
+    z10 = b.load("z10")
+    z11 = b.load("z11")
+    rz = b.mul(b.inv("r"), z10)
+    tz = b.mul(b.inv("t"), z11)
+    inner = b.add(rz, tz)
+    y = b.load("y")
+    prod = b.mul(y, inner)
+    b.store(b.add(b.inv("q"), prod), "x")
+    return b.build(
+        trip_count=990, source="x(i) = q + y(i)*(r*z(i+10) + t*z(i+11))"
+    )
+
+
+@kernel
+def iccg() -> Loop:
+    """Livermore kernel 2 (simplified ICCG excerpt)."""
+    b = LoopBuilder("iccg")
+    x0 = b.load("x0")
+    x1 = b.load("x1")
+    v = b.load("v")
+    t = b.sub(x0, b.mul(v, x1))
+    b.store(t, "xout")
+    acc = b.placeholder()
+    s = b.add(acc, b.mul(t, t), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=500, source="x(ii)=x(i)-v(i)*x(i+1); s+=x*x")
+
+
+@kernel
+def inner_product_5pt() -> Loop:
+    """Livermore kernel 6-style: banded linear equations row."""
+    b = LoopBuilder("inner_product_5pt")
+    acc = b.placeholder()
+    t0 = b.mul(b.load("a0"), b.load("x0"))
+    t1 = b.mul(b.load("a1"), b.load("x1"))
+    partial = b.add(t0, t1)
+    s = b.add(acc, partial, name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=400, source="s += a0*x0 + a1*x1")
+
+
+@kernel
+def state_equation() -> Loop:
+    """Livermore kernel 7: equation-of-state fragment (wide, no recurrence)."""
+    b = LoopBuilder("state_equation")
+    u = b.load("u")
+    z = b.load("z")
+    y = b.load("y")
+    r = b.inv("r")
+    t = b.inv("t")
+    uz = b.mul(u, z)
+    ry = b.mul(r, y)
+    inner = b.add(uz, ry)
+    ti = b.mul(t, inner)
+    uzr = b.mul(uz, r)
+    deep = b.add(ti, uzr)
+    term = b.mul(u, deep)
+    total = b.add(u, term)
+    b.store(total, "x")
+    return b.build(
+        trip_count=995,
+        source="x(i) = u(i) + u(i)*(t*(u*z + r*y) + u*z*r)",
+    )
+
+
+@kernel
+def adi_fragment() -> Loop:
+    """Livermore kernel 8 excerpt: ADI integration (division)."""
+    b = LoopBuilder("adi_fragment")
+    du1 = b.load("du1")
+    du2 = b.load("du2")
+    u1 = b.load("u1")
+    a = b.mul(b.inv("a11"), du1)
+    c = b.mul(b.inv("a12"), du2)
+    num = b.add(u1, b.add(a, c))
+    b.store(b.div(num, b.inv("sig")), "u1out")
+    return b.build(trip_count=300, source="u1out = (u1 + a11*du1 + a12*du2)/sig")
+
+
+@kernel
+def tridiag_elimination() -> Loop:
+    """Livermore kernel 5: x(i) = z(i) * (y(i) - x(i-1)) -- a recurrence."""
+    b = LoopBuilder("tridiag_elimination")
+    prev = b.placeholder()
+    y = b.load("y")
+    z = b.load("z")
+    diff = b.sub(y, prev)
+    x = b.mul(z, diff, name="x")
+    b.bind(prev, x, distance=1)
+    b.store(x, "x")
+    return b.build(trip_count=995, source="x(i) = z(i)*(y(i) - x(i-1))")
+
+
+@kernel
+def first_difference() -> Loop:
+    b = LoopBuilder("first_difference")
+    x1 = b.load("x1")
+    x0 = b.load("x0")
+    b.store(b.sub(x1, x0), "y")
+    return b.build(trip_count=995, source="y(i) = x(i+1) - x(i)")
+
+
+@kernel
+def first_sum() -> Loop:
+    """Livermore kernel 11: partial sums, x(i) = x(i-1) + y(i)."""
+    b = LoopBuilder("first_sum")
+    prev = b.placeholder()
+    x = b.add(prev, b.load("y"), name="x")
+    b.bind(prev, x, distance=1)
+    b.store(x, "x")
+    return b.build(trip_count=995, source="x(i) = x(i-1) + y(i)")
+
+
+@kernel
+def general_linear_recurrence() -> Loop:
+    """Livermore kernel 19-style: coupled recurrence."""
+    b = LoopBuilder("general_linear_recurrence")
+    prev = b.placeholder()
+    sa = b.load("sa")
+    sb = b.load("sb")
+    t = b.add(sa, b.mul(sb, prev), name="stb")
+    b.bind(prev, t, distance=1)
+    b.store(t, "stb")
+    return b.build(trip_count=101, source="stb(i) = sa(i) + sb(i)*stb(i-1)")
+
+
+@kernel
+def planckian() -> Loop:
+    """Livermore kernel 15 flavor: y/u ratio and products (uses division)."""
+    b = LoopBuilder("planckian")
+    y = b.load("y")
+    u = b.load("u")
+    v = b.div(y, u)
+    w = b.mul(v, b.load("x"))
+    b.store(w, "w")
+    return b.build(trip_count=600, source="w(i) = x(i) * y(i)/u(i)")
+
+
+# ----------------------------------------------------------------------
+# Stencils
+# ----------------------------------------------------------------------
+@kernel
+def stencil3() -> Loop:
+    b = LoopBuilder("stencil3")
+    a = b.load("xm1")
+    c = b.load("x0")
+    d = b.load("xp1")
+    s = b.add(b.add(a, c), d)
+    b.store(b.mul(b.inv("third"), s), "y")
+    return b.build(trip_count=998, source="y(i) = (x(i-1)+x(i)+x(i+1))/3")
+
+
+@kernel
+def stencil5_weighted() -> Loop:
+    b = LoopBuilder("stencil5_weighted")
+    xm2 = b.load("xm2")
+    xm1 = b.load("xm1")
+    x0 = b.load("x0")
+    xp1 = b.load("xp1")
+    xp2 = b.load("xp2")
+    t0 = b.mul(b.inv("w2"), b.add(xm2, xp2))
+    t1 = b.mul(b.inv("w1"), b.add(xm1, xp1))
+    t2 = b.mul(b.inv("w0"), x0)
+    b.store(b.add(t0, b.add(t1, t2)), "y")
+    return b.build(
+        trip_count=996,
+        source="y(i) = w2*(x(i-2)+x(i+2)) + w1*(x(i-1)+x(i+1)) + w0*x(i)",
+    )
+
+
+@kernel
+def heat_explicit() -> Loop:
+    """1-D explicit heat step: u' = u + k*(u(i-1) - 2u(i) + u(i+1))."""
+    b = LoopBuilder("heat_explicit")
+    um = b.load("um1")
+    u0 = b.load("u0")
+    up = b.load("up1")
+    lap = b.add(b.sub(um, b.add(u0, u0)), up)
+    b.store(b.add(u0, b.mul(b.inv("k"), lap)), "unew")
+    return b.build(
+        trip_count=998, source="u'(i) = u(i) + k*(u(i-1)-2u(i)+u(i+1))"
+    )
+
+
+@kernel
+def wave_leapfrog() -> Loop:
+    b = LoopBuilder("wave_leapfrog")
+    um = b.load("um1")
+    u0 = b.load("u0")
+    up = b.load("up1")
+    uprev = b.load("uprev")
+    lap = b.add(b.sub(um, b.add(u0, u0)), up)
+    unew = b.sub(b.add(b.add(u0, u0), b.mul(b.inv("c2"), lap)), uprev)
+    b.store(unew, "unew")
+    return b.build(
+        trip_count=700,
+        source="u'(i) = 2u(i) - uprev(i) + c2*lap(u)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Polynomials, interpolation, complex arithmetic
+# ----------------------------------------------------------------------
+@kernel
+def horner4() -> Loop:
+    b = LoopBuilder("horner4")
+    x = b.load("x")
+    p = b.inv("c4")
+    for coeff in ("c3", "c2", "c1", "c0"):
+        p = b.add(b.mul(p, x), b.inv(coeff))
+    b.store(p, "y")
+    return b.build(trip_count=900, source="y(i) = poly4(x(i)) via Horner")
+
+
+@kernel
+def horner8() -> Loop:
+    b = LoopBuilder("horner8")
+    x = b.load("x")
+    p = b.inv("c8")
+    for k in range(7, -1, -1):
+        p = b.add(b.mul(p, x), b.inv(f"c{k}"))
+    b.store(p, "y")
+    return b.build(trip_count=450, source="y(i) = poly8(x(i)) via Horner")
+
+
+@kernel
+def complex_multiply() -> Loop:
+    b = LoopBuilder("complex_multiply")
+    ar = b.load("ar")
+    ai = b.load("ai")
+    br = b.load("br")
+    bi = b.load("bi")
+    cr = b.sub(b.mul(ar, br), b.mul(ai, bi))
+    ci = b.add(b.mul(ar, bi), b.mul(ai, br))
+    b.store(cr, "cr")
+    b.store(ci, "ci")
+    return b.build(trip_count=512, source="c(i) = a(i) * b(i) (complex)")
+
+
+@kernel
+def fft_butterfly() -> Loop:
+    b = LoopBuilder("fft_butterfly")
+    xr = b.load("xr")
+    xi = b.load("xi")
+    yr = b.load("yr")
+    yi = b.load("yi")
+    wr = b.inv("wr")
+    wi = b.inv("wi")
+    tr = b.sub(b.mul(yr, wr), b.mul(yi, wi))
+    ti = b.add(b.mul(yr, wi), b.mul(yi, wr))
+    b.store(b.add(xr, tr), "xr")
+    b.store(b.add(xi, ti), "xi")
+    b.store(b.sub(xr, tr), "yr")
+    b.store(b.sub(xi, ti), "yi")
+    return b.build(trip_count=256, source="radix-2 FFT butterfly")
+
+
+@kernel
+def linear_interpolation() -> Loop:
+    b = LoopBuilder("linear_interpolation")
+    x0 = b.load("x0")
+    x1 = b.load("x1")
+    t = b.load("t")
+    b.store(b.add(x0, b.mul(t, b.sub(x1, x0))), "y")
+    return b.build(trip_count=850, source="y = x0 + t*(x1-x0)")
+
+
+@kernel
+def cubic_spline_eval() -> Loop:
+    b = LoopBuilder("cubic_spline_eval")
+    t = b.load("t")
+    a = b.load("a")
+    bb = b.load("b")
+    c = b.load("c")
+    d = b.load("d")
+    p = b.add(b.mul(b.add(b.mul(b.add(b.mul(d, t), c), t), bb), t), a)
+    b.store(p, "y")
+    return b.build(trip_count=640, source="y = a + t*(b + t*(c + t*d))")
+
+
+# ----------------------------------------------------------------------
+# ODE / physics style bodies
+# ----------------------------------------------------------------------
+@kernel
+def euler_step() -> Loop:
+    b = LoopBuilder("euler_step")
+    x = b.load("x")
+    v = b.load("v")
+    f = b.load("f")
+    h = b.inv("h")
+    b.store(b.add(x, b.mul(h, v)), "x")
+    b.store(b.add(v, b.mul(h, f)), "v")
+    return b.build(trip_count=1024, source="x += h*v; v += h*f")
+
+
+@kernel
+def velocity_verlet() -> Loop:
+    b = LoopBuilder("velocity_verlet")
+    x = b.load("x")
+    v = b.load("v")
+    a0 = b.load("a0")
+    a1 = b.load("a1")
+    h = b.inv("h")
+    h2 = b.inv("h2")
+    xn = b.add(x, b.add(b.mul(h, v), b.mul(h2, a0)))
+    vn = b.add(v, b.mul(h, b.mul(b.inv("half"), b.add(a0, a1))))
+    b.store(xn, "x")
+    b.store(vn, "v")
+    return b.build(trip_count=512, source="velocity Verlet update")
+
+
+@kernel
+def pressure_gradient() -> Loop:
+    b = LoopBuilder("pressure_gradient")
+    p0 = b.load("p0")
+    p1 = b.load("p1")
+    rho = b.load("rho")
+    grad = b.sub(p1, p0)
+    b.store(b.div(b.mul(b.inv("scale"), grad), rho), "g")
+    return b.build(trip_count=480, source="g(i) = scale*(p(i+1)-p(i))/rho(i)")
+
+
+@kernel
+def lorentz_force() -> Loop:
+    b = LoopBuilder("lorentz_force")
+    vx = b.load("vx")
+    vy = b.load("vy")
+    bz = b.load("bz")
+    q = b.inv("q")
+    fx = b.mul(q, b.mul(vy, bz))
+    fy = b.neg(b.mul(q, b.mul(vx, bz)))
+    b.store(fx, "fx")
+    b.store(fy, "fy")
+    return b.build(trip_count=600, source="f = q * v x B (z-field)")
+
+
+@kernel
+def gather_scale_accumulate() -> Loop:
+    b = LoopBuilder("gather_scale_accumulate")
+    acc = b.placeholder()
+    g = b.load("g")
+    w = b.load("w")
+    contrib = b.mul(g, w)
+    s = b.add(acc, contrib, name="s")
+    b.bind(acc, s, distance=1)
+    b.store(contrib, "c")
+    return b.build(trip_count=750, source="c(i)=g*w; s += c(i)")
+
+
+@kernel
+def average_chain() -> Loop:
+    """Deep dependent chain of averages -- long lifetimes, no ILP."""
+    b = LoopBuilder("average_chain")
+    v = b.load("x")
+    half = b.inv("half")
+    for k in range(6):
+        v = b.mul(half, b.add(v, b.inv(f"m{k}")))
+    b.store(v, "y")
+    return b.build(trip_count=350, source="6 chained average steps")
+
+
+@kernel
+def butterfly_wide() -> Loop:
+    """Wide independent dataflow -- high ILP, high register pressure."""
+    b = LoopBuilder("butterfly_wide")
+    a0 = b.load("a0")
+    a1 = b.load("a1")
+    a2 = b.load("a2")
+    a3 = b.load("a3")
+    s0 = b.add(a0, a1)
+    d0 = b.sub(a0, a1)
+    s1 = b.add(a2, a3)
+    d1 = b.sub(a2, a3)
+    b.store(b.add(s0, s1), "b0")
+    b.store(b.sub(s0, s1), "b1")
+    b.store(b.add(d0, d1), "b2")
+    b.store(b.sub(d0, d1), "b3")
+    return b.build(trip_count=256, source="4-point Hadamard butterfly")
+
+
+@kernel
+def second_order_recurrence() -> Loop:
+    """x(i) = a*x(i-1) + b*x(i-2) + u(i) -- distance-2 recurrence."""
+    b = LoopBuilder("second_order_recurrence")
+    p1 = b.placeholder()
+    p2 = b.placeholder()
+    u = b.load("u")
+    t = b.add(b.mul(b.inv("a"), p1), b.mul(b.inv("b"), p2))
+    x = b.add(t, u, name="x")
+    b.bind(p1, x, distance=1)
+    b.bind(p2, x, distance=2)
+    b.store(x, "x")
+    return b.build(trip_count=800, source="x(i) = a*x(i-1) + b*x(i-2) + u(i)")
+
+
+@kernel
+def normalized_difference() -> Loop:
+    b = LoopBuilder("normalized_difference")
+    a = b.load("a")
+    c = b.load("b")
+    num = b.sub(a, c)
+    den = b.add(a, c)
+    b.store(b.div(num, den), "ndvi")
+    return b.build(trip_count=900, source="y = (a-b)/(a+b)")
+
+
+__all__ = [
+    "all_kernels",
+    "example_loop",
+    "kernel_names",
+    "make_kernel",
+]
+
+
+# ----------------------------------------------------------------------
+# Additional Livermore/BLAS-style kernels (workload breadth)
+# ----------------------------------------------------------------------
+@kernel
+def banded_matrix_multiply() -> Loop:
+    """Livermore kernel 3-style band product row."""
+    b = LoopBuilder("banded_matrix_multiply")
+    acc = b.placeholder()
+    lm = b.mul(b.load("am1"), b.load("xm1"))
+    l0 = b.mul(b.load("a0"), b.load("x0"))
+    lp = b.mul(b.load("ap1"), b.load("xp1"))
+    s = b.add(acc, b.add(lm, b.add(l0, lp)), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=460, source="s += a(-1)x(-1)+a(0)x(0)+a(+1)x(+1)")
+
+
+@kernel
+def matrix_vector_row() -> Loop:
+    """One row of y = A*x, four-way unrolled inner product."""
+    b = LoopBuilder("matrix_vector_row")
+    acc = b.placeholder()
+    t0 = b.mul(b.load("a0"), b.load("x0"))
+    t1 = b.mul(b.load("a1"), b.load("x1"))
+    t2 = b.mul(b.load("a2"), b.load("x2"))
+    t3 = b.mul(b.load("a3"), b.load("x3"))
+    s = b.add(acc, b.add(b.add(t0, t1), b.add(t2, t3)), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=250, source="s += sum_{u=0..3} a_u * x_u")
+
+
+@kernel
+def saxpy_fused_pair() -> Loop:
+    """Two interleaved saxpy updates sharing a loaded scale vector."""
+    b = LoopBuilder("saxpy_fused_pair")
+    s = b.load("s")
+    x1 = b.load("x1")
+    x2 = b.load("x2")
+    b.store(b.add(x1, b.mul(s, b.inv("a1"))), "x1")
+    b.store(b.add(x2, b.mul(s, b.inv("a2"))), "x2")
+    return b.build(trip_count=640, source="x1 += a1*s; x2 += a2*s")
+
+
+@kernel
+def predictor_corrector() -> Loop:
+    """Two-term recurrence with a correction step (Livermore 20 flavor)."""
+    b = LoopBuilder("predictor_corrector")
+    prev = b.placeholder()
+    g = b.load("g")
+    predicted = b.add(prev, b.mul(b.inv("h"), g), name="pred")
+    corrected = b.mul(b.inv("w"), b.add(predicted, b.load("u")))
+    b.bind(prev, corrected, distance=1)
+    b.store(corrected, "x")
+    return b.build(trip_count=380, source="x = w*(x' + h*g + u)")
+
+
+@kernel
+def monte_carlo_step() -> Loop:
+    """Weighted accumulation of two independent products."""
+    b = LoopBuilder("monte_carlo_step")
+    acc1 = b.placeholder()
+    acc2 = b.placeholder()
+    v = b.load("v")
+    w = b.load("w")
+    e1 = b.add(acc1, b.mul(v, w), name="e1")
+    e2 = b.add(acc2, b.mul(v, v), name="e2")
+    b.bind(acc1, e1, distance=1)
+    b.bind(acc2, e2, distance=1)
+    return b.build(trip_count=1300, source="e1 += v*w; e2 += v*v")
+
+
+@kernel
+def implicit_residual() -> Loop:
+    """Residual of an implicit update: r = b - (d*x + o*xm1 + o*xp1)."""
+    b = LoopBuilder("implicit_residual")
+    x0 = b.load("x0")
+    xm = b.load("xm1")
+    xp = b.load("xp1")
+    rhs = b.load("rhs")
+    ax = b.add(
+        b.mul(b.inv("diag"), x0),
+        b.mul(b.inv("off"), b.add(xm, xp)),
+    )
+    b.store(b.sub(rhs, ax), "r")
+    return b.build(trip_count=720, source="r = rhs - (d*x + o*(x(-1)+x(+1)))")
+
+
+@kernel
+def min_max_scale() -> Loop:
+    """Normalize with a reciprocal range (division-heavy)."""
+    b = LoopBuilder("min_max_scale")
+    x = b.load("x")
+    num = b.sub(x, b.inv("lo"))
+    b.store(b.div(num, b.inv("range")), "y")
+    return b.build(trip_count=980, source="y = (x - lo)/range")
+
+
+@kernel
+def three_term_recurrence() -> Loop:
+    """Chebyshev-style: t(i) = 2*x*t(i-1) - t(i-2)."""
+    b = LoopBuilder("three_term_recurrence")
+    p1 = b.placeholder()
+    p2 = b.placeholder()
+    t = b.sub(b.mul(b.inv("twox"), p1), p2, name="t")
+    b.bind(p1, t, distance=1)
+    b.bind(p2, t, distance=2)
+    b.store(t, "t")
+    return b.build(trip_count=510, source="t(i) = 2x*t(i-1) - t(i-2)")
+
+
+@kernel
+def harmonic_series() -> Loop:
+    """Division inside a reduction."""
+    b = LoopBuilder("harmonic_series")
+    acc = b.placeholder()
+    d = b.load("d")
+    s = b.add(acc, b.div(b.inv("one"), d), name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=870, source="s += 1/d(i)")
+
+
+@kernel
+def cross_product_2d() -> Loop:
+    b = LoopBuilder("cross_product_2d")
+    ax = b.load("ax")
+    ay = b.load("ay")
+    bx = b.load("bx")
+    by = b.load("by")
+    b.store(b.sub(b.mul(ax, by), b.mul(ay, bx)), "cz")
+    return b.build(trip_count=540, source="cz = ax*by - ay*bx")
+
+
+@kernel
+def damped_oscillator() -> Loop:
+    """Coupled position/velocity recurrences."""
+    b = LoopBuilder("damped_oscillator")
+    xp = b.placeholder()
+    vp = b.placeholder()
+    f = b.load("f")
+    v = b.sub(b.mul(b.inv("damp"), vp), b.mul(b.inv("k"), xp), name="v")
+    v2 = b.add(v, b.mul(b.inv("h"), f))
+    x = b.add(xp, b.mul(b.inv("h"), v2), name="x")
+    b.bind(vp, v2, distance=1)
+    b.bind(xp, x, distance=1)
+    b.store(x, "x")
+    return b.build(trip_count=420, source="v' = damp*v - k*x + h*f; x' = x + h*v'")
+
+
+@kernel
+def log_sum_exp_partial() -> Loop:
+    """Shift-and-accumulate pattern (exp approximated by its argument)."""
+    b = LoopBuilder("log_sum_exp_partial")
+    acc = b.placeholder()
+    z = b.sub(b.load("z"), b.inv("zmax"))
+    approx = b.add(b.inv("one"), b.add(z, b.mul(b.inv("half"), b.mul(z, z))))
+    s = b.add(acc, approx, name="s")
+    b.bind(acc, s, distance=1)
+    return b.build(trip_count=310, source="s += 1 + z + z^2/2 (exp approx)")

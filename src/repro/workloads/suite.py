@@ -1,0 +1,81 @@
+"""Workload suites: the Perfect-Club-like collection used by experiments.
+
+A :class:`Suite` is a named, ordered list of loops with trip-count weights.
+The default experimental suite mixes the hand-written kernels of
+:mod:`repro.workloads.kernels` with the calibrated synthetic family of
+:mod:`repro.workloads.synthetic`, matching the scale of the paper's ~800
+Perfect Club inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loop import Loop
+from repro.workloads.kernels import all_kernels
+from repro.workloads.synthetic import SyntheticConfig, generate_suite
+
+#: Default size of the full experimental suite ("almost 800 loops").
+DEFAULT_SUITE_SIZE = 800
+DEFAULT_SEED = 20061995
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named workload."""
+
+    name: str
+    loops: tuple[Loop, ...]
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    @property
+    def total_trips(self) -> int:
+        return sum(loop.trip_count for loop in self.loops)
+
+    def subset(self, n: int, name: str | None = None) -> "Suite":
+        """Deterministic stratified subset: every ceil(len/n)-th loop."""
+        if n >= len(self.loops):
+            return self
+        step = len(self.loops) / n
+        picked = tuple(
+            self.loops[int(i * step)] for i in range(n)
+        )
+        return Suite(name or f"{self.name}-sub{n}", picked)
+
+
+def perfect_club_like(
+    n_loops: int = DEFAULT_SUITE_SIZE,
+    seed: int = DEFAULT_SEED,
+    include_kernels: bool = True,
+    config: SyntheticConfig | None = None,
+) -> Suite:
+    """The Perfect-Club substitute suite.
+
+    ``n_loops`` is the total size; the ~30 hand-written kernels are included
+    first (when requested) and the remainder is synthetic.
+    """
+    loops: list[Loop] = []
+    if include_kernels:
+        loops.extend(all_kernels())
+    remaining = max(0, n_loops - len(loops))
+    loops.extend(generate_suite(remaining, seed=seed, config=config))
+    return Suite(f"perfect-club-like-{n_loops}", tuple(loops[:n_loops]))
+
+
+def quick_suite(n_loops: int = 80, seed: int = DEFAULT_SEED) -> Suite:
+    """A small but representative suite for tests and fast benchmarks."""
+    return perfect_club_like(n_loops=n_loops, seed=seed)
+
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_SUITE_SIZE",
+    "Suite",
+    "perfect_club_like",
+    "quick_suite",
+]

@@ -1,0 +1,64 @@
+"""Unit tests for cumulative distributions."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    DEFAULT_GRID,
+    cumulative_distribution,
+    fraction_fitting,
+)
+
+
+class TestCumulative:
+    def test_simple_distribution(self):
+        reqs = [10, 20, 40, 80]
+        dist = cumulative_distribution(reqs, grid=(16, 32, 64, 128))
+        assert dist.at(16) == 0.25
+        assert dist.at(32) == 0.5
+        assert dist.at(64) == 0.75
+        assert dist.at(128) == 1.0
+
+    def test_weighted_distribution(self):
+        reqs = [10, 100]
+        dist = cumulative_distribution(
+            reqs, weights=[1.0, 3.0], grid=(16, 128)
+        )
+        assert dist.at(16) == 0.25
+        assert dist.at(128) == 1.0
+
+    def test_monotone_nondecreasing(self):
+        reqs = [5, 17, 33, 65, 90, 12, 47]
+        dist = cumulative_distribution(reqs)
+        fractions = [p.fraction for p in dist.points]
+        assert fractions == sorted(fractions)
+
+    def test_default_grid_span(self):
+        dist = cumulative_distribution([1])
+        assert dist.points[0].registers == DEFAULT_GRID[0]
+        assert dist.points[-1].registers == 128
+
+    def test_at_below_grid_is_zero(self):
+        dist = cumulative_distribution([10], grid=(16, 32))
+        assert dist.at(8) == 0.0
+
+    def test_percent_and_rows(self):
+        dist = cumulative_distribution([10, 40], grid=(16, 64), label="m")
+        assert dist.label == "m"
+        assert dist.as_rows() == [(16, 50.0), (64, 100.0)]
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_distribution([1, 2], weights=[1.0])
+
+
+class TestFractionFitting:
+    def test_unweighted(self):
+        assert fraction_fitting([10, 20, 30], 20) == pytest.approx(2 / 3)
+
+    def test_weighted(self):
+        assert fraction_fitting(
+            [10, 30], 16, weights=[9.0, 1.0]
+        ) == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert fraction_fitting([], 32) == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for performance aggregation."""
+
+import pytest
+
+from repro.analysis.performance import (
+    relative_performance,
+    run_all_models,
+    run_model,
+    total_cycles,
+)
+from repro.core.models import Model
+from repro.workloads.kernels import example_loop, make_kernel
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return [example_loop(trip_count=100), make_kernel("daxpy")]
+
+
+class TestRunModel:
+    def test_ideal_run(self, small_workload, paper_l3):
+        run = run_model(small_workload, paper_l3, Model.IDEAL, None)
+        assert len(run.evaluations) == 2
+        assert run.total_spills == 0
+        assert run.loops_not_fitting == 0
+
+    def test_budgeted_run_spills(self, small_workload, paper_l6):
+        run = run_model(small_workload, paper_l6, Model.UNIFIED, 16)
+        assert run.loops_spilled >= 1
+        assert run.total_spills >= run.loops_spilled
+
+    def test_cycles_sum(self, small_workload, paper_l3):
+        run = run_model(small_workload, paper_l3, Model.IDEAL, None)
+        assert run.cycles == total_cycles(run.evaluations)
+        assert run.cycles == sum(ev.cycles for ev in run.evaluations)
+
+
+class TestRelativePerformance:
+    def test_ideal_is_one(self, small_workload, paper_l3):
+        ideal = run_model(small_workload, paper_l3, Model.IDEAL, None)
+        assert relative_performance(
+            ideal.evaluations, ideal.evaluations
+        ) == pytest.approx(1.0)
+
+    def test_spilling_costs_performance(self, small_workload, paper_l6):
+        ideal = run_model(small_workload, paper_l6, Model.IDEAL, None)
+        tight = run_model(small_workload, paper_l6, Model.UNIFIED, 12)
+        perf = relative_performance(tight.evaluations, ideal.evaluations)
+        assert perf < 1.0
+
+    def test_model_ordering(self, small_workload, paper_l6):
+        """unified <= partitioned <= ~swapped under a tight budget."""
+        ideal = run_model(small_workload, paper_l6, Model.IDEAL, None)
+        perfs = {}
+        for model in (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED):
+            run = run_model(small_workload, paper_l6, model, 16)
+            perfs[model] = relative_performance(
+                run.evaluations, ideal.evaluations
+            )
+        assert perfs[Model.UNIFIED] <= perfs[Model.PARTITIONED] + 1e-9
+        assert perfs[Model.PARTITIONED] <= perfs[Model.SWAPPED] + 0.05
+
+
+class TestRunAllModels:
+    def test_covers_all_models(self, small_workload, paper_l3):
+        runs = run_all_models(small_workload, paper_l3, 32)
+        assert set(runs) == set(Model)
+        for model, run in runs.items():
+            assert run.model is model

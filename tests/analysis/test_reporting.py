@@ -1,0 +1,40 @@
+"""Unit tests for report formatting."""
+
+from repro.analysis.reporting import bar, format_table, percent
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, 4.0)])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) == {"-"}
+        assert lines[2].split() == ["1", "2.50"]
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["x"], [("longvalue",)])
+        assert "longvalue" in text
+
+    def test_float_formatting(self):
+        assert "0.33" in format_table(["x"], [(1 / 3,)])
+
+
+class TestHelpers:
+    def test_percent(self):
+        assert percent(0.107) == "10.7%"
+        assert percent(1.0, digits=0) == "100%"
+
+    def test_bar_full_and_empty(self):
+        assert bar(1.0, width=4) == "####"
+        assert bar(0.0, width=4) == "...."
+
+    def test_bar_clamps(self):
+        assert bar(1.5, width=4) == "####"
+        assert bar(-0.5, width=4) == "...."
+
+    def test_bar_proportional(self):
+        assert bar(0.5, width=4) == "##.."

@@ -1,0 +1,95 @@
+"""Unit tests for cluster assignment and GL/LO/RO classification."""
+
+import pytest
+
+from repro.core.clustering import (
+    classify_values,
+    consumer_clusters,
+    scheduler_assignment,
+)
+
+
+@pytest.fixture()
+def assignment(example_schedule):
+    return scheduler_assignment(example_schedule)
+
+
+@pytest.fixture()
+def named(example_schedule):
+    return {op.name: op.op_id for op in example_schedule.graph.operations}
+
+
+class TestSchedulerAssignment:
+    def test_covers_all_ops(self, example_schedule, assignment):
+        assert set(assignment) == {
+            op.op_id for op in example_schedule.graph.operations
+        }
+
+    def test_paper_partition(self, example_schedule, assignment, named):
+        left = {n for n, i in named.items() if assignment[i] == 0}
+        right = {n for n, i in named.items() if assignment[i] == 1}
+        assert left == {"L1", "L2", "M3", "A4"}
+        assert right == {"M5", "A6", "S7"}
+
+
+class TestConsumerClusters:
+    def test_l1_read_by_both_clusters(self, example_schedule, assignment, named):
+        clusters = consumer_clusters(example_schedule, assignment, named["L1"])
+        assert clusters == frozenset({0, 1})
+
+    def test_m3_read_by_left_only(self, example_schedule, assignment, named):
+        assert consumer_clusters(
+            example_schedule, assignment, named["M3"]
+        ) == frozenset({0})
+
+    def test_a4_value_follows_consumer_not_producer(
+        self, example_schedule, assignment, named
+    ):
+        """A4 executes on the left but its value is right-only (paper 4.1)."""
+        assert assignment[named["A4"]] == 0
+        assert consumer_clusters(
+            example_schedule, assignment, named["A4"]
+        ) == frozenset({1})
+
+    def test_unconsumed_value_stays_with_producer(self, paper_l3):
+        from repro.ir.builder import LoopBuilder
+        from repro.sched.modulo import modulo_schedule
+
+        b = LoopBuilder()
+        x = b.load("x")
+        dead = b.mul(x, "c")
+        b.store(x, "y")
+        schedule = modulo_schedule(b.build().graph, paper_l3)
+        assignment = scheduler_assignment(schedule)
+        clusters = consumer_clusters(schedule, assignment, dead.op_id)
+        assert clusters == frozenset({assignment[dead.op_id]})
+
+
+class TestClassification:
+    def test_paper_table3_classes(self, example_schedule, assignment, named):
+        classes = classify_values(example_schedule, assignment)
+        assert classes.global_ids == {named["L1"]}
+        assert classes.local_ids[0] == {named["L2"], named["M3"]}
+        assert classes.local_ids[1] == {named["A4"], named["M5"], named["A6"]}
+
+    def test_cluster_value_ids_unions_globals(
+        self, example_schedule, assignment, named
+    ):
+        classes = classify_values(example_schedule, assignment)
+        assert named["L1"] in classes.cluster_value_ids(0)
+        assert named["L1"] in classes.cluster_value_ids(1)
+        assert named["M3"] not in classes.cluster_value_ids(1)
+
+    def test_every_value_classified_once(self, example_schedule, assignment):
+        classes = classify_values(example_schedule, assignment)
+        all_ids = set(classes.global_ids)
+        for ids in classes.local_ids.values():
+            assert not (all_ids & ids)
+            all_ids |= ids
+        assert all_ids == {
+            op.op_id for op in example_schedule.graph.values()
+        }
+
+    def test_clusters_property(self, example_schedule, assignment):
+        classes = classify_values(example_schedule, assignment)
+        assert classes.clusters == [0, 1]

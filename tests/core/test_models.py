@@ -1,0 +1,55 @@
+"""Unit tests for the four evaluation models."""
+
+import pytest
+
+from repro.core.models import Model, required_registers
+from repro.sched.modulo import modulo_schedule
+from repro.workloads.kernels import all_kernels
+
+
+class TestModelEnum:
+    def test_dual_models(self):
+        assert Model.PARTITIONED.is_dual
+        assert Model.SWAPPED.is_dual
+        assert not Model.UNIFIED.is_dual
+        assert not Model.IDEAL.is_dual
+
+
+class TestRequirements:
+    def test_example_numbers(self, example_schedule):
+        assert required_registers(example_schedule, Model.UNIFIED).registers == 42
+        assert (
+            required_registers(example_schedule, Model.PARTITIONED).registers
+            == 29
+        )
+        assert required_registers(example_schedule, Model.SWAPPED).registers == 23
+
+    def test_ideal_reports_unified_requirement(self, example_schedule):
+        ideal = required_registers(example_schedule, Model.IDEAL)
+        unified = required_registers(example_schedule, Model.UNIFIED)
+        assert ideal.registers == unified.registers
+        assert ideal.unified is not None
+
+    def test_artifacts_attached(self, example_schedule):
+        unified = required_registers(example_schedule, Model.UNIFIED)
+        assert unified.unified is not None and unified.dual is None
+        partitioned = required_registers(example_schedule, Model.PARTITIONED)
+        assert partitioned.dual is not None and partitioned.unified is None
+        swapped = required_registers(example_schedule, Model.SWAPPED)
+        assert swapped.dual is not None and swapped.swap is not None
+
+    def test_assignment_exposed_for_dual_models(self, example_schedule):
+        partitioned = required_registers(example_schedule, Model.PARTITIONED)
+        assert partitioned.assignment is not None
+        unified = required_registers(example_schedule, Model.UNIFIED)
+        assert unified.assignment is None
+
+    def test_model_ordering_on_kernels(self, paper_l6):
+        """swapped <= partitioned (+1 estimator slack) <= unified."""
+        for loop in all_kernels():
+            schedule = modulo_schedule(loop.graph, paper_l6)
+            unified = required_registers(schedule, Model.UNIFIED).registers
+            part = required_registers(schedule, Model.PARTITIONED).registers
+            swapped = required_registers(schedule, Model.SWAPPED).registers
+            assert part <= unified
+            assert swapped <= part + 1

@@ -1,0 +1,37 @@
+"""Unit tests for pressure reports (Figure 6/7 building block)."""
+
+from repro.core.models import Model
+from repro.core.pressure import pressure_report
+from repro.machine.config import example_config
+from repro.workloads.kernels import example_loop, make_kernel
+
+
+class TestPressureReport:
+    def test_example_triple(self):
+        report = pressure_report(example_loop(), example_config())
+        assert (report.unified, report.partitioned, report.swapped) == (
+            42,
+            29,
+            23,
+        )
+        assert report.ii == 1
+        assert report.mii == 1
+        assert report.max_live == 42
+
+    def test_requirement_lookup(self):
+        report = pressure_report(example_loop(), example_config())
+        assert report.requirement(Model.UNIFIED) == 42
+        assert report.requirement(Model.IDEAL) == 42
+        assert report.requirement(Model.PARTITIONED) == 29
+        assert report.requirement(Model.SWAPPED) == 23
+
+    def test_latency_raises_pressure(self, paper_l3, paper_l6):
+        loop3 = make_kernel("state_equation")
+        loop6 = make_kernel("state_equation")
+        r3 = pressure_report(loop3, paper_l3)
+        r6 = pressure_report(loop6, paper_l6)
+        assert r6.unified > r3.unified
+
+    def test_ii_at_least_mii(self, paper_l6):
+        report = pressure_report(make_kernel("dot_product"), paper_l6)
+        assert report.ii >= report.mii

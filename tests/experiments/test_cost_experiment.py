@@ -1,0 +1,49 @@
+"""Tests for the cost-study experiment."""
+
+from repro.experiments.cost import (
+    format_report,
+    read_write_ports,
+    run_cost_study,
+)
+from repro.machine.config import paper_config, pxly
+
+
+class TestPorts:
+    def test_paper_machine_ports(self):
+        reads, writes = read_write_ports(paper_config(3))
+        # 2 adders + 2 mults read 2 each, 2 ld/st read 1 (store datum) = 10.
+        assert reads == 10
+        # 2 adders + 2 mults + 2 loads write = 6.
+        assert writes == 6
+
+    def test_pxly_ports(self):
+        reads, writes = read_write_ports(pxly(2, 6))
+        assert reads == 2 * 2 + 2 * 2 + 2 + 1  # incl. load ports + store port
+        assert writes == 2 + 2 + 2
+
+
+class TestStudy:
+    def test_organizations_present(self):
+        study = run_cost_study(32)
+        names = [o.name for o in study.organizations]
+        assert names == [
+            "unified",
+            "consistent dual",
+            "non-consistent dual",
+            "doubled unified",
+        ]
+
+    def test_conclusion_claims_hold(self):
+        """Non-consistent dual: cheaper and faster than doubling registers,
+        same hardware as the consistent dual."""
+        study = run_cost_study(32)
+        orgs = {o.name: o for o in study.organizations}
+        nc = orgs["non-consistent dual"]
+        assert nc.total_area < orgs["doubled unified"].total_area
+        assert nc.access_time < orgs["unified"].access_time
+        assert nc.specifier_bits == orgs["unified"].specifier_bits
+
+    def test_report_renders(self):
+        text = format_report([run_cost_study(32), run_cost_study(64)])
+        assert "non-consistent dual" in text
+        assert "R=64" in text

@@ -1,0 +1,76 @@
+"""Golden tests: the Section 4.1 experiment reproduces Tables 2/3/4."""
+
+import pytest
+
+from repro.experiments.example_loop import format_report, run_example
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_example()
+
+
+class TestGoldenNumbers:
+    def test_ii_one(self, result):
+        assert result.ii == 1
+
+    def test_table2_lifetimes(self, result):
+        lengths = {n: lt.length for n, lt in result.lifetimes.items()}
+        assert lengths == {
+            "L1": 13, "L2": 7, "M3": 6, "A4": 6, "M5": 6, "A6": 4,
+        }
+
+    def test_unified_42(self, result):
+        assert result.unified_registers == 42
+
+    def test_partitioned_29(self, result):
+        assert result.partitioned_registers == 29
+
+    def test_table3_breakdown(self, result):
+        assert result.partitioned.global_registers == 13
+        assert sorted(result.partitioned.per_cluster.values()) == [26, 29]
+
+    def test_swapped_23(self, result):
+        assert result.swapped_registers == 23
+
+    def test_table4_breakdown(self, result):
+        assert result.swapped.global_registers == 0
+        assert sorted(result.swapped.per_cluster.values()) == [19, 23]
+
+    def test_one_swap_suffices(self, result):
+        assert len(result.swap.swaps) == 1
+
+
+class TestReport:
+    def test_report_contains_all_tables(self, result):
+        text = format_report(result)
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "Table 4" in text
+        assert "42 / 29 / 23" in text
+
+    def test_report_contains_kernel_figures(self, result):
+        text = format_report(result)
+        assert "Figure 4" in text
+        assert "Figure 5" in text
+
+    def test_clustered_kernel_layout(self, result):
+        kernel = result.schedule.format_kernel_clustered()
+        lines = kernel.splitlines()
+        # One header + II rows; the example machine has 8 unit columns.
+        assert len(lines) == 1 + result.ii
+        assert "C0.adder0" in lines[0] and "C1.mem3" in lines[0]
+        # All seven operations plus one idle unit appear in the body.
+        body = "\n".join(lines[1:])
+        for name in ("L1", "L2", "M3", "A4", "M5", "A6", "S7"):
+            assert name in body
+        assert "nop" in body
+
+    def test_clustered_kernel_stages_bracketed(self, result):
+        body = result.schedule.format_kernel_clustered().splitlines()[1]
+        assert "[0] L1" in body or "[0] L2" in body
+
+    def test_report_register_totals(self, result):
+        text = format_report(result)
+        for n in ("42", "29", "23"):
+            assert n in text

@@ -1,0 +1,63 @@
+"""Tests for the Table 1 experiment driver."""
+
+import pytest
+
+from repro.experiments.table1 import (
+    THRESHOLDS,
+    default_configs,
+    format_report,
+    run_table1,
+)
+from repro.workloads.suite import quick_suite
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table1(list(quick_suite(40)))
+
+
+class TestStructure:
+    def test_default_configs(self):
+        names = [m.name for m in default_configs()]
+        assert names == ["P1L3", "P1L6", "P2L3", "P2L6"]
+
+    def test_one_row_per_config(self, rows):
+        assert [r.config for r in rows] == ["P1L3", "P1L6", "P2L3", "P2L6"]
+
+    def test_percentages_monotone_in_threshold(self, rows):
+        for row in rows:
+            static = [row.static_percent[t] for t in THRESHOLDS]
+            dynamic = [row.dynamic_percent[t] for t in THRESHOLDS]
+            assert static == sorted(static)
+            assert dynamic == sorted(dynamic)
+
+    def test_percentages_in_range(self, rows):
+        for row in rows:
+            for pct in list(row.static_percent.values()) + list(
+                row.dynamic_percent.values()
+            ):
+                assert 0.0 <= pct <= 100.0
+
+
+class TestPaperShape:
+    def test_aggressiveness_raises_pressure(self, rows):
+        """P2L6 must fit the fewest loops; P1L3 the most (paper's Table 1)."""
+        by_name = {r.config: r for r in rows}
+        assert (
+            by_name["P1L3"].static_percent[32]
+            >= by_name["P2L6"].static_percent[32]
+        )
+        assert (
+            by_name["P1L3"].over_64_static()
+            <= by_name["P2L6"].over_64_static()
+        )
+
+    def test_p1l3_nearly_all_fit_64(self, rows):
+        """Paper: only 0.3% of loops exceed 64 registers at P1L3."""
+        by_name = {r.config: r for r in rows}
+        assert by_name["P1L3"].static_percent[64] >= 95.0
+
+    def test_report_formatting(self, rows):
+        text = format_report(rows)
+        assert "Table 1" in text
+        assert "P2L6" in text

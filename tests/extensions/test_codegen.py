@@ -1,0 +1,115 @@
+"""Tests for prologue/kernel/epilogue code generation."""
+
+import pytest
+
+from repro.regalloc.mve import allocate_mve
+from repro.sched.codegen import (
+    code_size_comparison,
+    emit_replicated,
+    emit_rotating,
+)
+from repro.sched.modulo import modulo_schedule
+from repro.workloads.kernels import all_kernels, example_loop
+from repro.workloads.synthetic import generate_loop
+
+
+class TestRotating:
+    def test_exactly_ii_words(self, example_schedule):
+        listing = emit_rotating(example_schedule)
+        assert listing.words == example_schedule.ii == 1
+        assert listing.kernel_copies == 1
+
+    def test_all_ops_present_once(self, example_schedule):
+        listing = emit_rotating(example_schedule)
+        text = listing.render()
+        for op in example_schedule.graph.operations:
+            assert text.count(f" {op.name}@") == 1
+
+    def test_stage_annotations(self, example_schedule):
+        text = emit_rotating(example_schedule).render()
+        assert "[13] S7" in text
+        assert "[0] L1" in text
+
+
+class TestReplicated:
+    def test_sections_present(self, paper_l6):
+        loop = example_loop()
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        listing = emit_replicated(schedule)
+        assert listing.section("prologue")
+        assert listing.section("kernel")
+        assert listing.section("epilogue")
+
+    def test_kernel_periodicity(self, paper_l6):
+        """Inside the kernel region every word repeats with period II, up to
+        the instance-renaming suffix."""
+        loop = example_loop()
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        listing = emit_replicated(schedule)
+        kernel = listing.section("kernel")
+        ii = schedule.ii
+
+        def strip(slots):
+            return tuple(s.split("#")[0] for s in slots)
+
+        for a, b in zip(kernel, kernel[ii:]):
+            assert strip(a.slots) == strip(b.slots)
+
+    def test_kernel_copies_match_mve_unroll(self, paper_l6):
+        for loop in all_kernels()[:5]:
+            schedule = modulo_schedule(loop.graph, paper_l6)
+            listing = emit_replicated(schedule)
+            unroll = allocate_mve(schedule).unroll_factor
+            assert listing.kernel_copies == unroll
+            assert len(listing.section("kernel")) == unroll * schedule.ii
+
+    def test_prologue_and_epilogue_lengths(self, paper_l6):
+        loop = example_loop()
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        listing = emit_replicated(schedule)
+        fill = (schedule.stage_count - 1) * schedule.ii
+        assert len(listing.section("prologue")) == fill
+
+    def test_every_issue_slot_emitted(self, paper_l6):
+        loop = example_loop()
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        listing = emit_replicated(schedule)
+        n_iterations = (schedule.stage_count - 1) + listing.kernel_copies
+        total_slots = sum(len(i.slots) for i in listing.instructions)
+        assert total_slots == n_iterations * len(schedule.graph)
+
+    def test_renaming_suffixes_cycle_through_unroll(self, paper_l6):
+        loop = all_kernels()[1]
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        listing = emit_replicated(schedule)
+        suffixes = {
+            slot.rsplit("#", 1)[1]
+            for instr in listing.instructions
+            for slot in instr.slots
+        }
+        assert suffixes == {f"r{i}" for i in range(listing.kernel_copies)}
+
+
+class TestComparison:
+    @pytest.mark.parametrize("index", range(6))
+    def test_rotating_always_smaller(self, index, paper_l6):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        sizes = code_size_comparison(schedule)
+        assert sizes["rotating"] == schedule.ii
+        assert sizes["replicated"] > sizes["rotating"]
+
+    def test_deep_pipelines_replicate_more(self, paper_l3, paper_l6):
+        """Higher latency -> more stages -> longer prologue/epilogue."""
+        loop3 = example_loop()
+        loop6 = example_loop()
+        s3 = modulo_schedule(loop3.graph, paper_l3)
+        s6 = modulo_schedule(loop6.graph, paper_l6)
+        assert (
+            code_size_comparison(s6)["replicated"]
+            >= code_size_comparison(s3)["replicated"]
+        )
+
+    def test_render_smoke(self, example_schedule):
+        text = emit_replicated(example_schedule).render()
+        assert "prologue:" in text and "epilogue:" in text

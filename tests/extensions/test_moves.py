@@ -1,0 +1,60 @@
+"""Tests for the swap-pass move extension (cluster-aware placement)."""
+
+import pytest
+
+from repro.core.dualfile import allocate_dual
+from repro.core.swapping import greedy_swap
+from repro.machine.config import example_config, paper_config
+from repro.sched.modulo import modulo_schedule
+from repro.sim.executor import execute_kernel
+from repro.workloads.kernels import all_kernels, make_kernel
+from repro.workloads.synthetic import generate_loop
+
+
+class TestMoves:
+    def test_moves_never_hurt_the_estimate(self, paper_l6):
+        for loop in all_kernels()[:10]:
+            schedule = modulo_schedule(loop.graph, paper_l6)
+            plain = greedy_swap(schedule)
+            moved = greedy_swap(schedule, allow_moves=True)
+            assert moved.estimate_after <= plain.estimate_after
+
+    def test_moved_schedules_stay_valid(self, paper_l6):
+        for index in range(6):
+            loop = generate_loop(index)
+            schedule = modulo_schedule(loop.graph, paper_l6)
+            result = greedy_swap(schedule, allow_moves=True)
+            result.schedule.verify()
+
+    def test_moves_recorded(self):
+        """A lone op on an otherwise idle unit class can only move, not swap:
+        a one-op-per-row loop on the 4-ld/st example machine has free slots."""
+        machine = example_config()
+        loop = make_kernel("average_chain")
+        schedule = modulo_schedule(loop.graph, machine)
+        result = greedy_swap(schedule, allow_moves=True)
+        # Whether or not moves improved this loop, the fields must agree.
+        assert result.n_moves == len(result.moves)
+        assert result.n_swaps == len(result.swaps)
+
+    def test_assignment_matches_final_instances(self, paper_l6):
+        loop = generate_loop(2)
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        result = greedy_swap(schedule, allow_moves=True)
+        for op in result.schedule.graph.operations:
+            assert result.assignment[op.op_id] == result.schedule.cluster_of(
+                op.op_id
+            )
+
+    def test_moved_allocation_executes(self, paper_l6):
+        loop = generate_loop(8)
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        result = greedy_swap(schedule, allow_moves=True)
+        alloc = allocate_dual(result.schedule, result.assignment)
+        execute_kernel(result.schedule, alloc, iterations=5)
+
+    def test_default_disables_moves(self, paper_l6):
+        loop = generate_loop(2)
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        result = greedy_swap(schedule)
+        assert result.moves == ()

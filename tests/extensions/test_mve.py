@@ -1,0 +1,76 @@
+"""Tests for modulo variable expansion (the no-rotating-file baseline)."""
+
+import math
+
+import pytest
+
+from repro.regalloc.allocation import allocate_unified
+from repro.regalloc.mve import allocate_mve
+from repro.sched.modulo import modulo_schedule
+from repro.workloads.kernels import all_kernels, example_loop
+from repro.workloads.synthetic import generate_loop
+
+
+class TestExampleLoop:
+    def test_copies_equal_lifetimes_at_ii_one(self, example_schedule):
+        mve = allocate_mve(example_schedule)
+        for op_id, lt in mve.lifetimes.items():
+            assert mve.copies[op_id] == lt.length  # II = 1
+
+    def test_registers_match_rotating_at_ii_one(self, example_schedule):
+        """At II = 1 the ceiling is exact, so MVE needs exactly the 42
+        registers of the rotating file -- the gap only opens at II > 1."""
+        mve = allocate_mve(example_schedule)
+        assert mve.registers_required == 42
+
+    def test_unroll_factor_is_longest_lifetime(self, example_schedule):
+        assert allocate_mve(example_schedule).unroll_factor == 13
+
+    def test_code_expansion(self, example_schedule):
+        mve = allocate_mve(example_schedule)
+        assert mve.code_expansion == 13 * 7
+
+
+class TestGeneral:
+    @pytest.mark.parametrize("index", range(10))
+    def test_mve_never_beats_rotating_allocation(self, index, paper_l6):
+        """Per-value ceilings can only round up relative to wands packing."""
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        mve = allocate_mve(schedule)
+        rotating = allocate_unified(schedule)
+        # sum(ceil(L/II)) >= ceil(sum(L)/II) >= the packed requirement - slack
+        assert mve.registers_required >= rotating.max_live
+
+    def test_unroll_lcm_is_multiple_of_every_copy_count(self, paper_l6):
+        loop = all_kernels()[0]
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        mve = allocate_mve(schedule)
+        for q in mve.copies.values():
+            assert mve.unroll_factor_lcm % q == 0
+
+    def test_unroll_max_divides_nothing_but_bounds(self, paper_l6):
+        for loop in all_kernels()[:6]:
+            schedule = modulo_schedule(loop.graph, paper_l6)
+            mve = allocate_mve(schedule)
+            assert mve.unroll_factor == max(mve.copies.values())
+            assert mve.unroll_factor <= mve.unroll_factor_lcm
+
+    def test_copies_formula(self, paper_l6):
+        loop = all_kernels()[3]
+        schedule = modulo_schedule(loop.graph, paper_l6)
+        mve = allocate_mve(schedule)
+        for op_id, lt in mve.lifetimes.items():
+            assert mve.copies[op_id] == max(
+                1, math.ceil(lt.length / schedule.ii)
+            )
+
+    def test_rotating_file_advantage_at_high_ii(self, paper_l6):
+        """Aggregate over kernels: MVE pays strictly more registers."""
+        total_mve = 0
+        total_rot = 0
+        for loop in all_kernels():
+            schedule = modulo_schedule(loop.graph, paper_l6)
+            total_mve += allocate_mve(schedule).registers_required
+            total_rot += allocate_unified(schedule).registers_required
+        assert total_mve > total_rot

@@ -1,0 +1,79 @@
+"""Every example script must run cleanly and print its key results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "custom_loop.py",
+        "perfect_club_study.py",
+        "simulate_kernel.py",
+        "spill_pressure.py",
+        "register_file_cost.py",
+    } <= names
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "unified       42" in out.replace("  42", "  42")
+    assert "42" in out and "29" in out and "23" in out
+    assert "II = 1" in out
+
+
+def test_custom_loop():
+    out = _run("custom_loop.py")
+    assert "complex-dot" in out
+    assert "latency 6" in out
+
+
+def test_perfect_club_study_small():
+    out = _run("perfect_club_study.py", "24")
+    assert "Figure 6" in out
+    assert "Figure 9" in out
+
+
+def test_simulate_kernel_default():
+    out = _run("simulate_kernel.py")
+    assert "reads verified" in out
+    assert "subfile0" in out
+
+
+def test_simulate_kernel_unknown_name_fails_cleanly():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "simulate_kernel.py"), "nope"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode != 0
+    assert "unknown kernel" in result.stderr
+
+
+def test_spill_pressure():
+    out = _run("spill_pressure.py")
+    assert "register budget sweep" in out
+    assert "state_equation" in out
+
+
+def test_register_file_cost():
+    out = _run("register_file_cost.py")
+    assert "non-consistent dual" in out
+    assert "R=128" in out

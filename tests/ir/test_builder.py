@@ -1,0 +1,141 @@
+"""Unit tests for the loop-builder DSL."""
+
+import pytest
+
+from repro.ir.builder import BuilderError, LoopBuilder
+from repro.ir.operation import Immediate, InvariantRef, OpType, ValueRef
+
+
+class TestBasics:
+    def test_daxpy_shape(self):
+        b = LoopBuilder("daxpy")
+        x = b.load("x")
+        y = b.load("y")
+        b.store(b.add(b.mul(b.inv("a"), x), y), "y")
+        loop = b.build(trip_count=10)
+        g = loop.graph
+        assert g.count(OpType.LOAD) == 2
+        assert g.count(OpType.FMUL) == 1
+        assert g.count(OpType.FADD) == 1
+        assert g.count(OpType.STORE) == 1
+
+    def test_string_coerces_to_invariant(self):
+        b = LoopBuilder()
+        v = b.add(b.load("x"), "c0")
+        op = b._graph.op(v.op_id)
+        assert isinstance(op.operands[1], InvariantRef)
+
+    def test_number_coerces_to_immediate(self):
+        b = LoopBuilder()
+        v = b.mul(b.load("x"), 2)
+        op = b._graph.op(v.op_id)
+        assert op.operands[1] == Immediate(2.0)
+
+    def test_named_operations(self):
+        b = LoopBuilder()
+        v = b.load("x", name="L1")
+        assert b._graph.op(v.op_id).name == "L1"
+
+    def test_every_unary_and_binary_op(self):
+        b = LoopBuilder()
+        x = b.load("x")
+        ops = [
+            b.add(x, 1.0),
+            b.sub(x, 1.0),
+            b.mul(x, 2.0),
+            b.div(x, 2.0),
+            b.neg(x),
+            b.conv(x),
+        ]
+        for v in ops:
+            b.store(v, "out")
+        loop = b.build()
+        assert loop.size == 1 + 6 + 6
+
+    def test_cross_builder_value_rejected(self):
+        b1, b2 = LoopBuilder(), LoopBuilder()
+        x = b1.load("x")
+        with pytest.raises(BuilderError):
+            b2.add(x, 1.0)
+
+
+class TestPlaceholders:
+    def test_reduction_creates_carried_edge(self):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        b.bind(acc, s, distance=1)
+        loop = b.build()
+        op = loop.graph.op(s.op_id)
+        carried = op.operands[0]
+        assert isinstance(carried, ValueRef)
+        assert carried.producer == s.op_id
+        assert carried.distance == 1
+
+    def test_unbound_placeholder_rejected_at_build(self):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        b.store(b.add(acc, b.load("x")), "y")
+        with pytest.raises(BuilderError):
+            b.build()
+
+    def test_double_bind_rejected(self):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        b.bind(acc, s)
+        with pytest.raises(BuilderError):
+            b.bind(acc, s)
+
+    def test_distance_zero_bind_rejected(self):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        with pytest.raises(BuilderError):
+            b.bind(acc, s, distance=0)
+
+    def test_distance_two_recurrence(self):
+        b = LoopBuilder()
+        ph = b.placeholder()
+        x = b.add(ph, b.load("u"))
+        b.bind(ph, x, distance=2)
+        b.store(x, "x")
+        loop = b.build()
+        carried = loop.graph.op(x.op_id).operands[0]
+        assert carried.distance == 2
+
+
+class TestOrderEdges:
+    def test_order_edge_recorded(self):
+        b = LoopBuilder()
+        x = b.load("x")
+        s = b.store(x, "y")
+        l2 = b.load("y")
+        b.order(s, l2, distance=1)
+        loop = b.build()
+        extra = loop.graph.extra_edges()
+        assert len(extra) == 1
+        assert extra[0].src == s.op_id
+        assert extra[0].distance == 1
+
+
+class TestFinalization:
+    def test_build_after_build_rejected(self):
+        b = LoopBuilder()
+        b.store(b.load("x"), "y")
+        b.build()
+        with pytest.raises(BuilderError):
+            b.load("z")
+
+    def test_trip_count_positive(self):
+        b = LoopBuilder()
+        b.store(b.load("x"), "y")
+        with pytest.raises(ValueError):
+            b.build(trip_count=0)
+
+    def test_source_recorded(self):
+        b = LoopBuilder("k")
+        b.store(b.load("x"), "y")
+        loop = b.build(source="y(i) = x(i)")
+        assert loop.source == "y(i) = x(i)"
+        assert loop.name == "k"

@@ -1,0 +1,116 @@
+"""Unit tests for dependence graphs."""
+
+import pytest
+
+from repro.ir.ddg import DependenceGraph, EdgeKind, GraphError
+from repro.ir.operation import OpType, ValueRef
+
+
+@pytest.fixture()
+def chain():
+    """load -> add -> store."""
+    g = DependenceGraph("chain")
+    load = g.add_operation(OpType.LOAD, name="L", symbol="x")
+    add = g.add_operation(
+        OpType.FADD, (ValueRef(load.op_id), ValueRef(load.op_id)), name="A"
+    )
+    g.add_operation(OpType.STORE, (ValueRef(add.op_id),), name="S", symbol="y")
+    return g
+
+
+class TestConstruction:
+    def test_ids_are_sequential(self, chain):
+        assert [op.op_id for op in chain.operations] == [0, 1, 2]
+
+    def test_len_and_contains(self, chain):
+        assert len(chain) == 3
+        assert 0 in chain
+        assert 99 not in chain
+
+    def test_unknown_producer_rejected(self):
+        g = DependenceGraph()
+        with pytest.raises(GraphError):
+            g.add_operation(OpType.FNEG, (ValueRef(42),))
+
+    def test_operand_of_store_value_rejected(self):
+        g = DependenceGraph()
+        load = g.add_operation(OpType.LOAD, symbol="x")
+        store = g.add_operation(
+            OpType.STORE, (ValueRef(load.op_id),), symbol="y"
+        )
+        with pytest.raises(GraphError):
+            g.add_operation(OpType.FNEG, (ValueRef(store.op_id),))
+
+    def test_flow_edge_cannot_be_added_explicitly(self, chain):
+        with pytest.raises(GraphError):
+            chain.add_edge(0, 1, kind=EdgeKind.FLOW)
+
+    def test_edge_endpoints_must_exist(self, chain):
+        with pytest.raises(GraphError):
+            chain.add_edge(0, 99)
+
+    def test_negative_distance_rejected(self, chain):
+        with pytest.raises(GraphError):
+            chain.add_edge(0, 1, distance=-1)
+
+
+class TestEdges:
+    def test_flow_edges_derived_from_operands(self, chain):
+        edges = chain.flow_edges()
+        assert [(e.src, e.dst) for e in edges] == [(0, 1), (0, 1), (1, 2)]
+        assert all(e.kind is EdgeKind.FLOW for e in edges)
+
+    def test_flow_edges_carry_positions(self, chain):
+        first, second, _ = chain.flow_edges()
+        assert first.position == 0
+        assert second.position == 1
+
+    def test_extra_edges_appended(self, chain):
+        chain.add_edge(2, 0, kind=EdgeKind.MEMORY, distance=1, min_delay=1)
+        assert len(chain.edges()) == 4
+        assert chain.extra_edges()[0].distance == 1
+
+    def test_consumers(self, chain):
+        consumers = chain.consumers(0)
+        assert [(c.name, d) for c, d in consumers] == [("A", 0), ("A", 0)]
+        assert chain.consumers(1)[0][0].name == "S"
+        assert chain.consumers(2) == []
+
+
+class TestAccessors:
+    def test_values_excludes_stores(self, chain):
+        assert [op.name for op in chain.values()] == ["L", "A"]
+
+    def test_count(self, chain):
+        assert chain.count(OpType.LOAD) == 1
+        assert chain.count(OpType.FADD) == 1
+        assert chain.count(OpType.FMUL) == 0
+
+    def test_memory_operations(self, chain):
+        assert [op.name for op in chain.memory_operations()] == ["L", "S"]
+
+    def test_set_operands_replaces(self, chain):
+        chain.set_operands(1, (ValueRef(0), ValueRef(0, 1)))
+        assert chain.op(1).operands[1].distance == 1
+
+    def test_set_operands_checks_producers(self, chain):
+        with pytest.raises(GraphError):
+            chain.set_operands(1, (ValueRef(77),))
+
+
+class TestCopy:
+    def test_copy_is_independent(self, chain):
+        clone = chain.copy()
+        clone.add_operation(OpType.LOAD, name="L2", symbol="z")
+        assert len(clone) == 4
+        assert len(chain) == 3
+
+    def test_copy_preserves_edges(self, chain):
+        chain.add_edge(2, 0, distance=1)
+        clone = chain.copy()
+        assert len(clone.edges()) == len(chain.edges())
+
+    def test_copy_continues_ids(self, chain):
+        clone = chain.copy()
+        op = clone.add_operation(OpType.LOAD, symbol="z")
+        assert op.op_id == 3

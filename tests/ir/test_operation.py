@@ -1,0 +1,81 @@
+"""Unit tests for the operation model."""
+
+import pytest
+
+from repro.ir.operation import (
+    FU_CLASS_OF,
+    FuClass,
+    Immediate,
+    InvariantRef,
+    Operation,
+    OpType,
+    ValueRef,
+)
+
+
+class TestOpType:
+    def test_memory_classification(self):
+        assert OpType.LOAD.is_memory
+        assert OpType.STORE.is_memory
+        assert not OpType.FADD.is_memory
+        assert not OpType.FDIV.is_memory
+
+    def test_store_defines_no_value(self):
+        assert not OpType.STORE.defines_value
+
+    @pytest.mark.parametrize(
+        "optype",
+        [OpType.FADD, OpType.FSUB, OpType.FMUL, OpType.FDIV, OpType.LOAD],
+    )
+    def test_non_stores_define_values(self, optype):
+        assert optype.defines_value
+
+    def test_every_optype_has_fu_class(self):
+        for optype in OpType:
+            assert optype in FU_CLASS_OF
+
+    def test_adder_class_covers_add_sub_conv(self):
+        for optype in (OpType.FADD, OpType.FSUB, OpType.FCONV, OpType.FNEG):
+            assert FU_CLASS_OF[optype] is FuClass.ADDER
+
+    def test_multiplier_class_covers_mul_div(self):
+        for optype in (OpType.FMUL, OpType.FDIV):
+            assert FU_CLASS_OF[optype] is FuClass.MULTIPLIER
+
+
+class TestOperands:
+    def test_value_ref_default_distance(self):
+        ref = ValueRef(3)
+        assert ref.distance == 0
+
+    def test_value_ref_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            ValueRef(3, -1)
+
+    def test_value_ref_is_hashable(self):
+        assert ValueRef(1, 2) == ValueRef(1, 2)
+        assert hash(ValueRef(1, 2)) == hash(ValueRef(1, 2))
+
+    def test_invariant_and_immediate(self):
+        assert InvariantRef("a").name == "a"
+        assert Immediate(2.5).value == 2.5
+
+
+class TestOperation:
+    def _op(self, optype=OpType.FADD, operands=()):
+        return Operation(0, "t", optype, tuple(operands))
+
+    def test_fu_class_property(self):
+        assert self._op(OpType.FMUL).fu_class is FuClass.MULTIPLIER
+        assert self._op(OpType.LOAD).fu_class is FuClass.MEMORY
+
+    def test_value_operands_filters_refs(self):
+        op = self._op(
+            operands=(ValueRef(1), InvariantRef("a"), Immediate(1.0), ValueRef(2, 1))
+        )
+        refs = op.value_operands()
+        assert [r.producer for r in refs] == [1, 2]
+
+    def test_defines_value(self):
+        assert self._op(OpType.LOAD).defines_value
+        assert not self._op(OpType.STORE, (ValueRef(1),)).defines_value

@@ -1,0 +1,75 @@
+"""Unit tests for graph validation."""
+
+import pytest
+
+from repro.ir.ddg import DependenceGraph, GraphError
+from repro.ir.operation import OpType, ValueRef
+from repro.ir.validate import validate_graph
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(GraphError):
+        validate_graph(DependenceGraph())
+
+
+def test_arity_mismatch_rejected():
+    g = DependenceGraph()
+    load = g.add_operation(OpType.LOAD, symbol="x")
+    g.add_operation(OpType.FADD, (ValueRef(load.op_id),))  # needs 2 operands
+    with pytest.raises(GraphError, match="takes 2 operands"):
+        validate_graph(g)
+
+
+def test_memory_op_without_symbol_rejected():
+    g = DependenceGraph()
+    g.add_operation(OpType.LOAD)
+    with pytest.raises(GraphError, match="without a symbol"):
+        validate_graph(g)
+
+
+def test_self_dependence_distance_zero_rejected():
+    g = DependenceGraph()
+    load = g.add_operation(OpType.LOAD, symbol="x")
+    add = g.add_operation(
+        OpType.FADD, (ValueRef(load.op_id), ValueRef(load.op_id))
+    )
+    g.set_operands(add.op_id, (ValueRef(add.op_id, 0), ValueRef(load.op_id)))
+    with pytest.raises(GraphError, match="self-dependence"):
+        validate_graph(g)
+
+
+def test_zero_distance_cycle_rejected():
+    g = DependenceGraph()
+    load = g.add_operation(OpType.LOAD, symbol="x")
+    a = g.add_operation(OpType.FADD, (ValueRef(load.op_id), ValueRef(load.op_id)))
+    c = g.add_operation(OpType.FADD, (ValueRef(a.op_id), ValueRef(load.op_id)))
+    # Rewire a to consume c at distance 0: a -> c -> a cycle, distance 0.
+    g.set_operands(a.op_id, (ValueRef(c.op_id, 0), ValueRef(load.op_id)))
+    with pytest.raises(GraphError, match="cycle"):
+        validate_graph(g)
+
+
+def test_positive_distance_cycle_accepted():
+    g = DependenceGraph()
+    load = g.add_operation(OpType.LOAD, symbol="x")
+    a = g.add_operation(OpType.FADD, (ValueRef(load.op_id), ValueRef(load.op_id)))
+    g.set_operands(a.op_id, (ValueRef(a.op_id, 1), ValueRef(load.op_id)))
+    g.add_operation(OpType.STORE, (ValueRef(a.op_id),), symbol="y")
+    validate_graph(g)  # must not raise
+
+
+def test_zero_distance_cycle_through_memory_edge_rejected():
+    g = DependenceGraph()
+    load = g.add_operation(OpType.LOAD, symbol="x")
+    store = g.add_operation(OpType.STORE, (ValueRef(load.op_id),), symbol="y")
+    g.add_edge(store.op_id, load.op_id, distance=0)
+    with pytest.raises(GraphError, match="cycle"):
+        validate_graph(g)
+
+
+def test_valid_chain_accepted():
+    g = DependenceGraph()
+    load = g.add_operation(OpType.LOAD, symbol="x")
+    neg = g.add_operation(OpType.FNEG, (ValueRef(load.op_id),))
+    g.add_operation(OpType.STORE, (ValueRef(neg.op_id),), symbol="y")
+    validate_graph(g)

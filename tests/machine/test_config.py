@@ -1,0 +1,116 @@
+"""Unit tests for machine configurations."""
+
+import pytest
+
+from repro.ir.operation import OpType
+from repro.machine.config import (
+    ConfigError,
+    MachineConfig,
+    example_config,
+    paper_config,
+    pxly,
+)
+from repro.machine.resources import ADDER, MEM, MULT, ResourcePool
+
+
+class TestPaperConfig:
+    def test_pools(self, paper_l3):
+        assert paper_l3.units(ADDER) == 2
+        assert paper_l3.units(MULT) == 2
+        assert paper_l3.units(MEM) == 2
+
+    def test_latencies(self, paper_l3, paper_l6):
+        assert paper_l3.latency_of(OpType.FADD) == 3
+        assert paper_l6.latency_of(OpType.FMUL) == 6
+        assert paper_l3.latency_of(OpType.LOAD) == 1
+        assert paper_l6.latency_of(OpType.STORE) == 1
+
+    def test_divide_same_latency_as_multiply(self, paper_l6):
+        assert paper_l6.latency_of(OpType.FDIV) == paper_l6.latency_of(
+            OpType.FMUL
+        )
+
+    def test_two_clusters(self, paper_l3):
+        assert paper_l3.n_clusters == 2
+
+    def test_memory_bandwidth(self, paper_l3):
+        assert paper_l3.memory_bandwidth == 2
+
+
+class TestExampleConfig:
+    def test_four_memory_units(self, example_machine):
+        assert example_machine.units(MEM) == 4
+
+    def test_memory_units_block_partitioned(self, example_machine):
+        clusters = [
+            example_machine.cluster_of_instance(MEM, i) for i in range(4)
+        ]
+        assert clusters == [0, 0, 1, 1]
+
+    def test_adders_split(self, example_machine):
+        assert example_machine.cluster_of_instance(ADDER, 0) == 0
+        assert example_machine.cluster_of_instance(ADDER, 1) == 1
+
+
+class TestPxly:
+    def test_p2l6_shape(self):
+        m = pxly(2, 6)
+        assert m.name == "P2L6"
+        assert m.units(ADDER) == 2
+        assert m.units("load") == 2
+        assert m.units("store") == 1
+        assert m.latency_of(OpType.FADD) == 6
+
+    def test_split_memory_mapping(self):
+        m = pxly(1, 3)
+        assert m.pool_for(OpType.LOAD) == "load"
+        assert m.pool_for(OpType.STORE) == "store"
+        assert m.memory_bandwidth == 3
+
+    def test_single_cluster(self):
+        assert pxly(2, 3).n_clusters == 1
+        assert pxly(2, 3).cluster_of_instance(ADDER, 1) == 0
+
+
+class TestValidation:
+    def _latencies(self, value=1):
+        return {t: value for t in OpType}
+
+    def test_duplicate_pools_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                name="bad",
+                pools=(ResourcePool(ADDER, 1), ResourcePool(ADDER, 2)),
+                pool_of={t: ADDER for t in OpType},
+                latency=self._latencies(),
+            )
+
+    def test_unknown_pool_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                name="bad",
+                pools=(ResourcePool(ADDER, 1),),
+                pool_of={t: "ghost" for t in OpType},
+                latency=self._latencies(),
+            )
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                name="bad",
+                pools=(ResourcePool(ADDER, 1),),
+                pool_of={t: ADDER for t in OpType},
+                latency=self._latencies(0),
+            )
+
+    def test_zero_count_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePool(ADDER, 0)
+
+    def test_instance_out_of_range(self, paper_l3):
+        with pytest.raises(ConfigError):
+            paper_l3.cluster_of_instance(ADDER, 7)
+
+    def test_instances_in_cluster(self, example_machine):
+        assert example_machine.instances_in_cluster(MEM, 0) == [0, 1]
+        assert example_machine.instances_in_cluster(MEM, 1) == [2, 3]

@@ -1,0 +1,102 @@
+"""Unit tests for the register-file cost model (paper, Section 3.2)."""
+
+import pytest
+
+from repro.machine.costmodel import (
+    CostModel,
+    RegisterFileGeometry,
+    compare_organizations,
+)
+
+
+class TestGeometry:
+    def test_specifier_bits(self):
+        assert RegisterFileGeometry(32, 2, 1).specifier_bits == 5
+        assert RegisterFileGeometry(64, 2, 1).specifier_bits == 6
+        assert RegisterFileGeometry(33, 2, 1).specifier_bits == 6
+
+    def test_ports_total(self):
+        assert RegisterFileGeometry(32, 6, 4).ports == 10
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFileGeometry(0, 2, 1)
+        with pytest.raises(ValueError):
+            RegisterFileGeometry(32, 0, 1)
+
+
+class TestCostModel:
+    def test_area_reference_normalization(self):
+        geom = RegisterFileGeometry(32, 2, 1)
+        assert CostModel().area(geom) == pytest.approx(1.0)
+
+    def test_access_time_reference_normalization(self):
+        geom = RegisterFileGeometry(32, 2, 1)
+        assert CostModel().access_time(geom) == pytest.approx(1.0)
+
+    def test_area_quadratic_in_ports(self):
+        m = CostModel()
+        small = RegisterFileGeometry(32, 2, 2)
+        big = RegisterFileGeometry(32, 4, 4)  # double the ports
+        assert m.area(big) == pytest.approx(4 * m.area(small))
+
+    def test_area_linear_in_registers(self):
+        m = CostModel()
+        r32 = RegisterFileGeometry(32, 4, 2)
+        r64 = RegisterFileGeometry(64, 4, 2)
+        assert m.area(r64) == pytest.approx(2 * m.area(r32))
+
+    def test_access_time_grows_with_read_ports(self):
+        m = CostModel()
+        assert m.access_time(
+            RegisterFileGeometry(32, 8, 4)
+        ) > m.access_time(RegisterFileGeometry(32, 4, 4))
+
+    def test_access_time_grows_with_registers(self):
+        m = CostModel()
+        assert m.access_time(
+            RegisterFileGeometry(64, 4, 4)
+        ) > m.access_time(RegisterFileGeometry(32, 4, 4))
+
+
+class TestComparison:
+    def test_four_organizations(self):
+        orgs = {o.name: o for o in compare_organizations(32, 8, 4)}
+        assert set(orgs) == {
+            "unified",
+            "consistent dual",
+            "non-consistent dual",
+            "doubled unified",
+        }
+
+    def test_dual_is_faster_than_unified(self):
+        orgs = {o.name: o for o in compare_organizations(32, 8, 4)}
+        assert orgs["consistent dual"].access_time < orgs["unified"].access_time
+
+    def test_non_consistent_same_hardware_as_consistent(self):
+        orgs = {o.name: o for o in compare_organizations(32, 8, 4)}
+        assert (
+            orgs["non-consistent dual"].total_area
+            == orgs["consistent dual"].total_area
+        )
+        assert (
+            orgs["non-consistent dual"].access_time
+            == orgs["consistent dual"].access_time
+        )
+
+    def test_doubling_registers_costs_specifier_bit(self):
+        orgs = {o.name: o for o in compare_organizations(32, 8, 4)}
+        assert orgs["doubled unified"].specifier_bits == 6
+        assert orgs["non-consistent dual"].specifier_bits == 5
+
+    def test_dual_cheaper_than_doubled_unified(self):
+        """The conclusions' claim: cheaper than doubling the registers."""
+        orgs = {o.name: o for o in compare_organizations(32, 8, 4)}
+        assert (
+            orgs["non-consistent dual"].total_area
+            < orgs["doubled unified"].total_area
+        )
+        assert (
+            orgs["non-consistent dual"].access_time
+            < orgs["doubled unified"].access_time
+        )

@@ -1,0 +1,78 @@
+"""Hypothesis strategies building random *valid* dependence graphs directly.
+
+Unlike the seeded synthetic generator (which explores a realistic, calibrated
+corner of the space), these strategies explore the full space of structurally
+valid graphs -- degenerate shapes included: single-op loops, pure load/store
+shuffles, deep unary chains, distance-3 recurrences, dead values.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.ddg import DependenceGraph
+from repro.ir.operation import Immediate, InvariantRef, OpType, ValueRef
+
+_BINARY = (OpType.FADD, OpType.FSUB, OpType.FMUL, OpType.FDIV)
+_UNARY = (OpType.FNEG, OpType.FCONV)
+
+
+@st.composite
+def dependence_graphs(
+    draw,
+    max_arith: int = 12,
+    max_loads: int = 4,
+    allow_recurrences: bool = True,
+) -> DependenceGraph:
+    """A random valid dependence graph.
+
+    Structure: some loads, a random arithmetic DAG over available values /
+    invariants / immediates, optional distance>=1 back edges rewired into an
+    operand, and a store of the last value (keeping at least one memory op
+    so every graph has defined traffic).
+    """
+    graph = DependenceGraph("hypothesis-loop")
+    values: list[int] = []
+
+    n_loads = draw(st.integers(1, max_loads))
+    for i in range(n_loads):
+        op = graph.add_operation(OpType.LOAD, symbol=f"arr{i}")
+        values.append(op.op_id)
+
+    n_arith = draw(st.integers(0, max_arith))
+    for _ in range(n_arith):
+        optype = draw(st.sampled_from(_BINARY + _UNARY))
+
+        def operand(draw=draw):
+            kind = draw(st.integers(0, 3))
+            if kind == 0:
+                return InvariantRef(draw(st.sampled_from(["a", "b", "c"])))
+            if kind == 1:
+                return Immediate(float(draw(st.integers(1, 5))))
+            return ValueRef(draw(st.sampled_from(values)), 0)
+
+        arity = 2 if optype in _BINARY else 1
+        op = graph.add_operation(optype, tuple(operand() for _ in range(arity)))
+        values.append(op.op_id)
+
+    if allow_recurrences and len(values) > n_loads and draw(st.booleans()):
+        # Rewire one operand of a later arithmetic op to a loop-carried use
+        # of a value defined at or after it (a genuine recurrence) or before
+        # it (a cross-iteration forward edge) -- both are valid at d >= 1.
+        target_id = draw(st.sampled_from(values[n_loads:]))
+        target = graph.op(target_id)
+        if target.operands:
+            pos = draw(st.integers(0, len(target.operands) - 1))
+            source = draw(st.sampled_from(values))
+            distance = draw(st.integers(1, 3))
+            operands = list(target.operands)
+            operands[pos] = ValueRef(source, distance)
+            graph.set_operands(target_id, operands)
+
+    graph.add_operation(
+        OpType.STORE, (ValueRef(values[-1], 0),), symbol="out"
+    )
+    return graph
+
+
+__all__ = ["dependence_graphs"]

@@ -1,0 +1,119 @@
+"""Property-based tests for lifetimes, MaxLive and first-fit allocation."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regalloc.firstfit import first_fit, verify_disjoint
+from repro.regalloc.lifetimes import Lifetime
+from repro.regalloc.maxlive import average_live, live_at, max_live
+
+lifetime_lists = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 30)),
+    min_size=0,
+    max_size=25,
+).map(
+    lambda pairs: [
+        Lifetime(i, start, start + length)
+        for i, (start, length) in enumerate(pairs)
+    ]
+)
+
+iis = st.integers(1, 12)
+
+
+class TestFirstFitProperties:
+    @given(lifetime_lists, iis)
+    @settings(max_examples=150, deadline=None)
+    def test_placements_always_disjoint(self, lts, ii):
+        result = first_fit(lts, ii)
+        verify_disjoint(result.placements.values())
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=150, deadline=None)
+    def test_at_least_maxlive(self, lts, ii):
+        result = first_fit(lts, ii)
+        assert result.registers_required >= max_live(lts, ii)
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=150, deadline=None)
+    def test_at_least_average_live(self, lts, ii):
+        result = first_fit(lts, ii)
+        assert result.registers_required >= math.ceil(
+            average_live(lts, ii) - 1e-9
+        )
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=100, deadline=None)
+    def test_every_lifetime_placed_unshrunk(self, lts, ii):
+        result = first_fit(lts, ii)
+        assert set(result.placements) == {lt.op_id for lt in lts}
+        for lt in lts:
+            placed = result.placements[lt.op_id]
+            assert placed.end - placed.start == lt.length
+            assert placed.shift >= 0
+            assert (placed.start - lt.start) % ii == 0
+
+    @given(lifetime_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_ii_one_packs_common_start_perfectly(self, lts):
+        """At II=1 with aligned starts, first-fit leaves no gaps (the sum of
+        lifetimes of the paper's example).  Shifts only move forward, so
+        gaps *before* a later-starting lifetime can survive in general."""
+        aligned = [Lifetime(lt.op_id, 0, lt.length) for lt in lts]
+        result = first_fit(aligned, 1)
+        assert result.registers_required == sum(lt.length for lt in lts)
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=100, deadline=None)
+    def test_fixed_placements_respected(self, lts, ii):
+        if not lts:
+            return
+        head, tail = lts[:1], lts[1:]
+        fixed = first_fit(head, ii)
+        rest = first_fit(tail, ii, fixed=tuple(fixed.placements.values()))
+        verify_disjoint(
+            list(fixed.placements.values()) + list(rest.placements.values())
+        )
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, lts, ii):
+        a = first_fit(lts, ii)
+        b = first_fit(list(reversed(lts)), ii)
+        assert {i: p.shift for i, p in a.placements.items()} == {
+            i: p.shift for i, p in b.placements.items()
+        }
+
+
+class TestMaxLiveProperties:
+    @given(lifetime_lists, iis)
+    @settings(max_examples=150, deadline=None)
+    def test_maxlive_at_least_average(self, lts, ii):
+        assert max_live(lts, ii) >= average_live(lts, ii) - 1e-9
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=150, deadline=None)
+    def test_live_counts_nonnegative(self, lts, ii):
+        for lt in lts:
+            for c in range(ii):
+                assert live_at(lt, c, ii) >= 0
+
+    @given(
+        st.integers(0, 30),
+        st.integers(1, 40),
+        iis,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_single_lifetime_instances_bracket_length(self, start, length, ii):
+        lt = Lifetime(0, start, start + length)
+        counts = [live_at(lt, c, ii) for c in range(ii)]
+        assert max(counts) == math.ceil(length / ii)
+        assert min(counts) == math.floor(length / ii)
+
+    @given(lifetime_lists, iis)
+    @settings(max_examples=100, deadline=None)
+    def test_maxlive_monotone_under_union(self, lts, ii):
+        half = lts[: len(lts) // 2]
+        assert max_live(half, ii) <= max_live(lts, ii)

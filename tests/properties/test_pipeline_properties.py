@@ -1,0 +1,172 @@
+"""Property-based tests over the seeded synthetic loop family.
+
+Hypothesis draws loop indices (and machine parameters) and checks that every
+stage of the pipeline upholds its invariants on arbitrary generated loops --
+scheduling, allocation, clustering, swapping, spilling, and the verifying
+simulator end to end.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import classify_values, scheduler_assignment
+from repro.core.dualfile import allocate_dual, dual_max_live
+from repro.core.models import Model, required_registers
+from repro.core.swapping import greedy_swap
+from repro.machine.config import paper_config
+from repro.regalloc.allocation import allocate_unified
+from repro.sched.mii import minimum_ii
+from repro.sched.modulo import modulo_schedule
+from repro.sim.executor import execute_kernel
+from repro.spill.spiller import evaluate_loop, pick_victim, spill_value
+from repro.workloads.synthetic import generate_loop
+
+loop_indices = st.integers(0, 300)
+latencies = st.sampled_from([3, 6])
+
+
+class TestSchedulerProperties:
+    @given(loop_indices, latencies)
+    @settings(max_examples=60, deadline=None)
+    def test_schedules_verify(self, index, latency):
+        loop = generate_loop(index)
+        machine = paper_config(latency)
+        schedule = modulo_schedule(loop.graph, machine)
+        schedule.verify()
+
+    @given(loop_indices, latencies)
+    @settings(max_examples=60, deadline=None)
+    def test_ii_at_least_mii(self, index, latency):
+        loop = generate_loop(index)
+        machine = paper_config(latency)
+        schedule = modulo_schedule(loop.graph, machine)
+        assert schedule.ii >= minimum_ii(loop.graph, machine).mii
+
+
+class TestAllocationProperties:
+    @given(loop_indices, latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_dual_close_to_or_below_unified(self, index, latency):
+        """Each subfile holds a subset of the unified file's values, so the
+        dual requirement is essentially bounded by the unified one.  First
+        fit, however, is not monotone: packing *fewer* intervals can
+        occasionally cost one extra register (the removed intervals were
+        filling gaps), so the bound carries a tiny additive slack.  The
+        MaxLive bound below is subset-monotone and exact."""
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(latency))
+        unified = allocate_unified(schedule)
+        dual = allocate_dual(schedule)
+        assert dual.registers_required <= unified.registers_required + 2
+        from repro.core.clustering import scheduler_assignment
+        from repro.core.dualfile import dual_max_live
+
+        assert (
+            dual_max_live(schedule, scheduler_assignment(schedule))
+            <= unified.max_live
+        )
+
+    @given(loop_indices, latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_classification_partitions_values(self, index, latency):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(latency))
+        assignment = scheduler_assignment(schedule)
+        classes = classify_values(schedule, assignment)
+        seen = set(classes.global_ids)
+        for ids in classes.local_ids.values():
+            assert not seen & ids
+            seen |= ids
+        assert seen == {op.op_id for op in schedule.graph.values()}
+
+    @given(loop_indices, latencies)
+    @settings(max_examples=40, deadline=None)
+    def test_maxlive_bounds_dual_requirement(self, index, latency):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(latency))
+        assignment = scheduler_assignment(schedule)
+        assert dual_max_live(schedule, assignment) <= allocate_dual(
+            schedule, assignment
+        ).registers_required
+
+
+class TestSwappingProperties:
+    @given(loop_indices, latencies)
+    @settings(max_examples=25, deadline=None)
+    def test_swap_estimate_never_increases(self, index, latency):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(latency))
+        result = greedy_swap(schedule)
+        assert result.estimate_after <= result.estimate_before
+        result.schedule.verify()
+
+    @given(loop_indices)
+    @settings(max_examples=25, deadline=None)
+    def test_swap_preserves_rows_and_pools(self, index):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(3))
+        result = greedy_swap(schedule)
+        for op in schedule.graph.operations:
+            before = schedule.placement(op.op_id)
+            after = result.schedule.placement(op.op_id)
+            assert before.time == after.time
+            assert before.pool == after.pool
+
+
+class TestSpillProperties:
+    @given(loop_indices, latencies)
+    @settings(max_examples=20, deadline=None)
+    def test_spilling_victim_reduces_its_lifetime_pressure(
+        self, index, latency
+    ):
+        from repro.ir.validate import validate_graph
+
+        loop = generate_loop(index)
+        machine = paper_config(latency)
+        schedule = modulo_schedule(loop.graph, machine)
+        victim = pick_victim(schedule)
+        if victim is None:
+            return
+        spilled = spill_value(loop.graph, victim)
+        validate_graph(spilled)
+        reschedule = modulo_schedule(spilled, machine)
+        reschedule.verify()
+
+    @given(loop_indices, latencies, st.sampled_from([16, 32, 64]))
+    @settings(max_examples=15, deadline=None)
+    def test_budget_respected_when_fits(self, index, latency, budget):
+        loop = generate_loop(index)
+        ev = evaluate_loop(
+            loop, paper_config(latency), Model.UNIFIED, register_budget=budget
+        )
+        if ev.fits:
+            assert ev.requirement.registers <= budget
+        ev.schedule.verify()
+
+
+class TestEndToEndSimulation:
+    @given(loop_indices, latencies)
+    @settings(max_examples=15, deadline=None)
+    def test_unified_execution_verifies(self, index, latency):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(latency))
+        execute_kernel(schedule, allocate_unified(schedule), iterations=4)
+
+    @given(loop_indices, latencies)
+    @settings(max_examples=15, deadline=None)
+    def test_swapped_dual_execution_verifies(self, index, latency):
+        loop = generate_loop(index)
+        schedule = modulo_schedule(loop.graph, paper_config(latency))
+        result = greedy_swap(schedule)
+        alloc = allocate_dual(result.schedule, result.assignment)
+        execute_kernel(result.schedule, alloc, iterations=4)
+
+    @given(loop_indices)
+    @settings(max_examples=10, deadline=None)
+    def test_spilled_execution_verifies(self, index):
+        loop = generate_loop(index)
+        ev = evaluate_loop(
+            loop, paper_config(6), Model.UNIFIED, register_budget=16
+        )
+        if ev.requirement.unified is not None:
+            execute_kernel(ev.schedule, ev.requirement.unified, iterations=4)

@@ -1,0 +1,121 @@
+"""Unit tests for wands-only first-fit allocation."""
+
+import pytest
+
+from repro.regalloc.firstfit import (
+    AllocationError,
+    PlacedLifetime,
+    first_fit,
+    registers_required,
+    verify_disjoint,
+)
+from repro.regalloc.lifetimes import Lifetime, lifetimes
+
+
+class TestBasicPacking:
+    def test_ii_one_packs_to_sum_of_lengths(self):
+        lts = [Lifetime(0, 0, 5), Lifetime(1, 0, 3), Lifetime(2, 1, 4)]
+        result = first_fit(lts, ii=1)
+        verify_disjoint(result.placements.values())
+        assert result.registers_required == 5 + 3 + 3
+
+    def test_disjoint_intervals_need_no_shift(self):
+        lts = [Lifetime(0, 0, 3), Lifetime(1, 5, 8)]
+        result = first_fit(lts, ii=2)
+        assert result.placements[1].shift == 0
+        assert result.registers_required == 4  # span [0, 8) over II=2
+
+    def test_overlap_forces_shift(self):
+        lts = [Lifetime(0, 0, 4), Lifetime(1, 1, 3)]
+        result = first_fit(lts, ii=2)
+        assert result.placements[1].shift >= 2  # jump past [0, 4)
+
+    def test_empty_allocation(self):
+        result = first_fit([], ii=3)
+        assert result.registers_required == 0
+
+    def test_fill_gap_between_intervals(self):
+        # [0,4) and [10,14) placed; a [0,2) lifetime fits at shift*2 in [4,10).
+        lts = [Lifetime(0, 0, 4), Lifetime(1, 10, 14), Lifetime(2, 0, 2)]
+        result = first_fit(lts, ii=2)
+        verify_disjoint(result.placements.values())
+        p = result.placements[2]
+        assert 4 <= p.start and p.end <= 10
+
+    def test_invalid_ii(self):
+        with pytest.raises(AllocationError):
+            first_fit([], ii=0)
+
+    def test_duplicate_op_rejected(self):
+        with pytest.raises(AllocationError):
+            first_fit([Lifetime(0, 0, 2), Lifetime(0, 1, 3)], ii=1)
+
+
+class TestFixedPlacements:
+    def test_locals_avoid_fixed_globals(self):
+        globals_ = first_fit([Lifetime(0, 0, 13)], ii=1)
+        locals_ = first_fit(
+            [Lifetime(1, 0, 6)], ii=1, fixed=tuple(globals_.placements.values())
+        )
+        merged = globals_.merged_with(locals_)
+        verify_disjoint(merged.placements.values())
+        assert merged.registers_required == 19
+
+    def test_fixed_with_different_ii_rejected(self):
+        fixed = PlacedLifetime(Lifetime(0, 0, 4), 0, ii=2)
+        with pytest.raises(AllocationError):
+            first_fit([Lifetime(1, 0, 2)], ii=3, fixed=(fixed,))
+
+    def test_merge_duplicate_rejected(self):
+        a = first_fit([Lifetime(0, 0, 2)], ii=1)
+        with pytest.raises(AllocationError):
+            a.merged_with(a)
+
+    def test_merge_ii_mismatch_rejected(self):
+        a = first_fit([Lifetime(0, 0, 2)], ii=1)
+        b = first_fit([Lifetime(1, 0, 2)], ii=2)
+        with pytest.raises(AllocationError):
+            a.merged_with(b)
+
+
+class TestRegistersRequired:
+    def test_span_rounding(self):
+        placements = [
+            PlacedLifetime(Lifetime(0, 0, 5), 0, ii=3),
+            PlacedLifetime(Lifetime(1, 5, 8), 0, ii=3),
+        ]
+        assert registers_required(placements, ii=3) == 3  # ceil(8/3)
+
+    def test_span_ignores_leading_gap(self):
+        placements = [PlacedLifetime(Lifetime(0, 30, 36), 0, ii=3)]
+        assert registers_required(placements, ii=3) == 2
+
+    def test_verify_disjoint_catches_overlap(self):
+        placements = [
+            PlacedLifetime(Lifetime(0, 0, 5), 0, ii=1),
+            PlacedLifetime(Lifetime(1, 4, 8), 0, ii=1),
+        ]
+        with pytest.raises(AllocationError, match="overlap"):
+            verify_disjoint(placements)
+
+
+class TestPaperNumbers:
+    """The allocation numbers of Section 4.1 fall out of first-fit."""
+
+    def test_unified_42(self, example_schedule):
+        lts = lifetimes(example_schedule)
+        result = first_fit(lts.values(), example_schedule.ii)
+        assert result.registers_required == 42
+
+    def test_dual_29_via_fixed_globals(self, example_schedule):
+        graph = example_schedule.graph
+        ids = {op.name: op.op_id for op in graph.operations}
+        lts = lifetimes(example_schedule)
+        globals_ = first_fit([lts[ids["L1"]]], 1)
+        right = first_fit(
+            [lts[ids[n]] for n in ("A4", "M5", "A6")],
+            1,
+            fixed=tuple(globals_.placements.values()),
+        )
+        merged = globals_.merged_with(right)
+        assert merged.registers_required == 29

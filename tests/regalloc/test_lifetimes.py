@@ -1,0 +1,77 @@
+"""Unit tests for lifetime analysis (paper, Table 2)."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.regalloc.lifetimes import Lifetime, lifetimes, total_lifetime
+from repro.sched.modulo import modulo_schedule
+
+
+class TestPaperTable2:
+    """The example loop's lifetimes: 13, 7, 6, 6, 6, 4; sum 42."""
+
+    def test_lengths(self, example_schedule):
+        lts = lifetimes(example_schedule)
+        named = {
+            example_schedule.graph.op(i).name: lt.length
+            for i, lt in lts.items()
+        }
+        assert named == {
+            "L1": 13, "L2": 7, "M3": 6, "A4": 6, "M5": 6, "A6": 4,
+        }
+
+    def test_sum_is_42(self, example_schedule):
+        assert total_lifetime(lifetimes(example_schedule)) == 42
+
+    def test_store_defines_no_lifetime(self, example_schedule):
+        lts = lifetimes(example_schedule)
+        names = {example_schedule.graph.op(i).name for i in lts}
+        assert "S7" not in names
+
+    def test_lifetime_spans_producer_to_last_consumer_finish(
+        self, example_schedule
+    ):
+        """L1 is consumed by M3 (early) and A6 (late, latency 3)."""
+        graph = example_schedule.graph
+        ids = {op.name: op.op_id for op in graph.operations}
+        lts = lifetimes(example_schedule)
+        l1 = lts[ids["L1"]]
+        assert l1.start == example_schedule.time_of(ids["L1"])
+        assert l1.end == example_schedule.time_of(ids["A6"]) + 3
+
+
+class TestGeneral:
+    def test_unconsumed_value_lives_until_writeback(self, paper_l3):
+        b = LoopBuilder()
+        x = b.load("x")
+        dead = b.mul(x, "c")  # no consumer
+        b.store(x, "y")
+        loop = b.build()
+        schedule = modulo_schedule(loop.graph, paper_l3)
+        lts = lifetimes(schedule)
+        lt = lts[dead.op_id]
+        assert lt.length == 3  # multiplier latency
+
+    def test_carried_consumer_extends_by_distance_times_ii(self, paper_l6):
+        b = LoopBuilder()
+        ph = b.placeholder()
+        s = b.add(ph, b.load("x"))
+        b.bind(ph, s, distance=1)
+        b.store(s, "y")
+        schedule = modulo_schedule(b.build().graph, paper_l6)
+        lts = lifetimes(schedule)
+        lt = lts[s.op_id]
+        # s consumes itself one iteration later: end >= start + II + latency.
+        assert lt.end >= lt.start + schedule.ii
+        assert lt.length >= schedule.ii
+
+    def test_lifetime_validation(self):
+        with pytest.raises(ValueError):
+            Lifetime(0, 5, 5)
+        with pytest.raises(ValueError):
+            Lifetime(0, 5, 3)
+
+    def test_shifted(self):
+        lt = Lifetime(1, 2, 6)
+        moved = lt.shifted(10)
+        assert (moved.start, moved.end, moved.length) == (12, 16, 4)

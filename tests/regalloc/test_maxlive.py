@@ -1,0 +1,51 @@
+"""Unit tests for the MaxLive lower bound."""
+
+from repro.regalloc.lifetimes import Lifetime, lifetimes
+from repro.regalloc.maxlive import average_live, live_at, live_profile, max_live
+
+
+class TestLiveAt:
+    def test_single_short_lifetime(self):
+        lt = Lifetime(0, 0, 3)
+        assert live_at(lt, 0, ii=4) == 1
+        assert live_at(lt, 2, ii=4) == 1
+        assert live_at(lt, 3, ii=4) == 0
+
+    def test_lifetime_longer_than_ii_overlaps_itself(self):
+        lt = Lifetime(0, 0, 10)
+        # II = 4: instances from iterations k with 0 <= c + 4k < 10.
+        assert live_at(lt, 0, ii=4) == 3  # k = 0, 1, 2
+        assert live_at(lt, 2, ii=4) == 2  # k = 0, 1
+
+    def test_ii_one_equals_length(self):
+        lt = Lifetime(0, 5, 18)
+        assert live_at(lt, 0, ii=1) == 13
+
+    def test_offset_start(self):
+        lt = Lifetime(0, 7, 16)  # length 9, II=4
+        # c=3: instances k with 7 <= 3+4k < 16 -> k in {1, 2, 3}.
+        assert live_at(lt, 3, ii=4) == 3
+        # c=0: instances k with 7 <= 4k < 16 -> k in {2, 3}.
+        assert live_at(lt, 0, ii=4) == 2
+
+
+class TestProfiles:
+    def test_profile_length_is_ii(self):
+        lts = [Lifetime(0, 0, 3), Lifetime(1, 1, 5)]
+        assert len(live_profile(lts, 4)) == 4
+
+    def test_example_loop_maxlive_is_42(self, example_schedule):
+        lts = lifetimes(example_schedule)
+        assert max_live(lts.values(), example_schedule.ii) == 42
+
+    def test_maxlive_empty(self):
+        assert max_live([], 4) == 0
+
+    def test_average_live(self):
+        lts = [Lifetime(0, 0, 4), Lifetime(1, 0, 8)]
+        assert average_live(lts, 4) == 3.0
+
+    def test_maxlive_at_least_average(self):
+        lts = [Lifetime(0, 0, 3), Lifetime(1, 2, 9), Lifetime(2, 5, 6)]
+        for ii in (1, 2, 3, 5):
+            assert max_live(lts, ii) >= average_live(lts, ii) - 1e-9

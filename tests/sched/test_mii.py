@@ -1,0 +1,102 @@
+"""Unit tests for ResMII / RecMII."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.machine.config import paper_config, pxly
+from repro.sched.mii import minimum_ii, rec_mii, res_mii
+from repro.workloads.kernels import example_loop
+
+
+def _loop_with_n_muls(n):
+    b = LoopBuilder()
+    x = b.load("x")
+    v = x
+    for _ in range(n):
+        v = b.mul(v, "c")
+    b.store(v, "y")
+    return b.build()
+
+
+class TestResMII:
+    def test_example_loop_is_one(self, example_machine):
+        assert res_mii(example_loop().graph, example_machine) == 1
+
+    def test_multiplier_bound(self, paper_l3):
+        loop = _loop_with_n_muls(6)
+        # 6 multiplies over 2 multipliers -> at least 3.
+        assert res_mii(loop.graph, paper_l3) == 3
+
+    def test_memory_bound(self, paper_l3):
+        b = LoopBuilder()
+        vals = [b.load(f"x{i}") for i in range(8)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.store(acc, "y")
+        # 9 memory ops over 2 units -> ceil(9/2) = 5.
+        assert res_mii(b.build().graph, paper_l3) == 5
+
+    def test_split_ports_use_store_pool(self):
+        b = LoopBuilder()
+        x = b.load("x")
+        for i in range(3):
+            b.store(b.add(x, float(i)), f"y{i}")
+        loop = b.build()
+        # 3 stores over 1 store port -> 3 on PxLy machines.
+        assert res_mii(loop.graph, pxly(2, 3)) == 3
+        # On the combined-memory paper machine: 4 mem ops / 2 units = 2.
+        assert res_mii(loop.graph, paper_config(3)) == 2
+
+
+class TestRecMII:
+    def test_acyclic_graph_is_one(self, paper_l3):
+        assert rec_mii(example_loop().graph, paper_l3) == 1
+
+    def test_accumulator_recurrence(self, paper_l3):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        b.bind(acc, s, distance=1)
+        # s -> s with latency 3, distance 1: RecMII = 3.
+        assert rec_mii(b.build().graph, paper_l3) == 3
+
+    def test_latency_scales_recurrence(self, paper_l6):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        b.bind(acc, s, distance=1)
+        assert rec_mii(b.build().graph, paper_l6) == 6
+
+    def test_distance_two_halves_recmii(self, paper_l6):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        b.bind(acc, s, distance=2)
+        assert rec_mii(b.build().graph, paper_l6) == 3
+
+    def test_two_op_cycle(self, paper_l3):
+        b = LoopBuilder()
+        ph = b.placeholder()
+        t = b.mul(ph, "c")
+        u = b.add(t, b.load("x"))
+        b.bind(ph, u, distance=1)
+        b.store(u, "y")
+        # Cycle latency 3 + 3 = 6 over distance 1.
+        assert rec_mii(b.build().graph, paper_l3) == 6
+
+
+class TestMinimumII:
+    def test_mii_is_max_of_bounds(self, paper_l3):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"))
+        b.bind(acc, s, distance=1)
+        loop = b.build()
+        report = minimum_ii(loop.graph, paper_l3)
+        assert report.res == 1
+        assert report.rec == 3
+        assert report.mii == 3
+
+    def test_example_loop_mii_one(self, example_machine):
+        assert minimum_ii(example_loop().graph, example_machine).mii == 1

@@ -1,0 +1,57 @@
+"""Unit tests for height-based scheduling priorities."""
+
+import pytest
+
+from repro.sched.priority import heights, priority_order
+from repro.workloads.kernels import example_loop
+
+
+class TestHeights:
+    def test_example_heights(self, example_machine):
+        graph = example_loop().graph
+        h = heights(graph, example_machine, ii=1)
+        named = {graph.op(i).name: v for i, v in h.items()}
+        # Chain: L1 -> M3 -> A4 -> M5 -> A6 -> S7 with latencies 1/3/3/3/3.
+        assert named["S7"] == 0
+        assert named["A6"] == 3
+        assert named["M5"] == 6
+        assert named["A4"] == 9
+        assert named["M3"] == 12
+        assert named["L1"] == 13
+        assert named["L2"] == 10
+
+    def test_priority_order_starts_with_critical_path(self, example_machine):
+        graph = example_loop().graph
+        order = priority_order(graph, example_machine, ii=1)
+        assert graph.op(order[0]).name == "L1"
+        assert graph.op(order[-1]).name == "S7"
+
+    def test_heights_nonnegative(self, example_machine):
+        graph = example_loop().graph
+        assert all(v >= 0 for v in heights(graph, example_machine, 1).values())
+
+    def test_ii_reduces_carried_heights(self, paper_l6):
+        from repro.ir.builder import LoopBuilder
+
+        b = LoopBuilder()
+        ph = b.placeholder()
+        s = b.add(ph, b.load("x"))
+        b.bind(ph, s, distance=1)
+        b.store(s, "y")
+        graph = b.build().graph
+        # At II = RecMII = 6 the self-cycle contributes nothing extra.
+        h6 = heights(graph, paper_l6, 6)
+        h12 = heights(graph, paper_l6, 12)
+        assert all(h12[k] <= h6[k] for k in h6)
+
+    def test_below_recmii_diverges(self, paper_l6):
+        from repro.ir.builder import LoopBuilder
+
+        b = LoopBuilder()
+        ph = b.placeholder()
+        s = b.add(ph, b.load("x"))
+        b.bind(ph, s, distance=1)
+        b.store(s, "y")
+        graph = b.build().graph
+        with pytest.raises(ValueError, match="diverge"):
+            heights(graph, paper_l6, 2)

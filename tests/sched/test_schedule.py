@@ -1,0 +1,105 @@
+"""Unit tests for Schedule/Placement data structures and verification."""
+
+import pytest
+
+from repro.ir.ddg import DependenceGraph
+from repro.ir.operation import OpType, ValueRef
+from repro.machine.config import paper_config
+from repro.machine.resources import ADDER, MEM
+from repro.sched.schedule import Placement, Schedule, ScheduleError
+
+
+@pytest.fixture()
+def tiny():
+    g = DependenceGraph("tiny")
+    load = g.add_operation(OpType.LOAD, name="L", symbol="x")
+    add = g.add_operation(
+        OpType.FADD, (ValueRef(load.op_id), ValueRef(load.op_id)), name="A"
+    )
+    g.add_operation(OpType.STORE, (ValueRef(add.op_id),), name="S", symbol="y")
+    return g
+
+
+def _schedule(graph, ii, times, machine=None):
+    machine = machine or paper_config(3)
+    placements = {}
+    pools = {"L": MEM, "A": ADDER, "S": MEM}
+    instances = {"L": 0, "A": 0, "S": 1}
+    for op in graph.operations:
+        placements[op.op_id] = Placement(
+            time=times[op.name], pool=pools[op.name], instance=instances[op.name]
+        )
+    return Schedule(graph, machine, ii, placements)
+
+
+class TestVerification:
+    def test_valid_schedule(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        s.verify()
+
+    def test_dependence_violation_detected(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 0, "S": 4})
+        with pytest.raises(ScheduleError, match="dependence"):
+            s.verify()
+
+    def test_resource_conflict_detected(self, tiny):
+        # L and S on the same memory instance in the same row (ii=2).
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        bad = {
+            op_id: p for op_id, p in s.placements.items()
+        }
+        bad[2] = Placement(time=4, pool=MEM, instance=0)  # row 0, same as L
+        with pytest.raises(ScheduleError, match="share unit"):
+            Schedule(tiny, s.machine, 2, bad).verify()
+
+    def test_negative_time_rejected(self, tiny):
+        s = _schedule(tiny, 2, {"L": -1, "A": 1, "S": 4})
+        with pytest.raises(ScheduleError, match="negative"):
+            s.verify()
+
+    def test_missing_placement_rejected(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        partial = dict(s.placements)
+        del partial[0]
+        with pytest.raises(ScheduleError, match="cover"):
+            Schedule(tiny, s.machine, 2, partial).verify()
+
+    def test_wrong_pool_rejected(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        bad = dict(s.placements)
+        bad[1] = Placement(time=1, pool=MEM, instance=1)
+        with pytest.raises(ScheduleError):
+            Schedule(tiny, s.machine, 2, bad).verify()
+
+    def test_ii_zero_rejected(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        with pytest.raises(ScheduleError):
+            Schedule(tiny, s.machine, 0, dict(s.placements)).verify()
+
+
+class TestAccessors:
+    def test_rows_and_stages(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        assert s.placement(0).row(2) == 0
+        assert s.placement(2).row(2) == 0
+        assert s.placement(2).stage(2) == 2
+        assert s.stage_count == 3
+
+    def test_makespan(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        assert s.makespan == 5
+
+    def test_cluster_of(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        assert s.cluster_of(0) == 0  # mem instance 0
+        assert s.cluster_of(2) == 1  # mem instance 1
+
+    def test_ops_in_cluster(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        names = [op.name for op in s.ops_in_cluster(0)]
+        assert names == ["L", "A"]
+
+    def test_format_kernel_mentions_stages(self, tiny):
+        s = _schedule(tiny, 2, {"L": 0, "A": 1, "S": 4})
+        text = s.format_kernel()
+        assert "row 0" in text and "[2] S" in text

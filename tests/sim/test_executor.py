@@ -1,0 +1,120 @@
+"""Integration tests: cycle-level execution of scheduled, allocated loops."""
+
+import pytest
+
+from repro.core.dualfile import allocate_dual
+from repro.core.models import Model
+from repro.core.swapping import greedy_swap
+from repro.regalloc.allocation import allocate_unified
+from repro.regalloc.firstfit import PlacedLifetime
+from repro.sched.modulo import modulo_schedule
+from repro.sim.executor import SimulationError, execute_kernel
+from repro.sim.regfile import RegisterFileError
+from repro.spill.spiller import evaluate_loop
+from repro.workloads.kernels import all_kernels, example_loop, make_kernel
+
+
+class TestUnifiedExecution:
+    def test_example_loop(self, example_schedule):
+        report = execute_kernel(
+            example_schedule, allocate_unified(example_schedule), iterations=25
+        )
+        assert report.reads_checked > 0
+        assert report.values_written == 25 * 6
+        assert report.memory_accesses == 25 * 3
+
+    def test_all_kernels_verify(self, paper_l3):
+        for loop in all_kernels():
+            schedule = modulo_schedule(loop.graph, paper_l3)
+            execute_kernel(schedule, allocate_unified(schedule), iterations=6)
+
+    def test_corrupted_allocation_detected(self, example_schedule):
+        """Forcing two overlapping values onto the same registers must trip
+        the register-file ownership check."""
+        import dataclasses
+
+        from repro.regalloc.lifetimes import Lifetime
+
+        alloc = allocate_unified(example_schedule)
+        placements = dict(alloc.result.placements)
+        a, b = sorted(placements)[:2]  # L1 and L2: overlapping lifetimes
+        placements[b] = PlacedLifetime(
+            Lifetime(b, placements[a].lifetime.start, placements[a].lifetime.end),
+            placements[a].shift,
+            alloc.ii,
+        )
+        broken = dataclasses.replace(
+            alloc,
+            result=dataclasses.replace(alloc.result, placements=placements),
+        )
+        with pytest.raises((RegisterFileError, SimulationError)):
+            execute_kernel(example_schedule, broken, iterations=25)
+
+
+class TestDualExecution:
+    def test_partitioned_example(self, example_schedule):
+        report = execute_kernel(
+            example_schedule, allocate_dual(example_schedule), iterations=25
+        )
+        assert set(report.port_stats) == {"subfile0", "subfile1"}
+
+    def test_swapped_example(self, example_schedule):
+        swap = greedy_swap(example_schedule)
+        alloc = allocate_dual(swap.schedule, swap.assignment)
+        execute_kernel(swap.schedule, alloc, iterations=25)
+
+    @pytest.mark.parametrize("latency", [3, 6])
+    def test_kernels_dual(self, latency):
+        from repro.machine.config import paper_config
+
+        machine = paper_config(latency)
+        for loop in all_kernels()[:12]:
+            schedule = modulo_schedule(loop.graph, machine)
+            execute_kernel(schedule, allocate_dual(schedule), iterations=5)
+
+    def test_port_pressure_bounded_by_cluster_width(self, example_schedule):
+        """Each cluster (1 add + 1 mul + 2 ld/st) can read at most 5 operands
+        per cycle; the simulator must agree."""
+        report = execute_kernel(
+            example_schedule, allocate_dual(example_schedule), iterations=25
+        )
+        for stats in report.port_stats.values():
+            assert stats.max_reads <= 5
+
+
+class TestSpilledExecution:
+    @pytest.mark.parametrize("budget", [10, 16])
+    def test_spilled_unified_executes(self, paper_l6, budget):
+        ev = evaluate_loop(
+            example_loop(), paper_l6, Model.UNIFIED, register_budget=budget
+        )
+        assert ev.requirement.unified is not None
+        execute_kernel(ev.schedule, ev.requirement.unified, iterations=12)
+
+    def test_spilled_dual_executes(self, paper_l6):
+        ev = evaluate_loop(
+            make_kernel("state_equation"),
+            paper_l6,
+            Model.PARTITIONED,
+            register_budget=12,
+        )
+        assert ev.requirement.dual is not None
+        execute_kernel(ev.schedule, ev.requirement.dual, iterations=12)
+
+    def test_reduction_spill_executes(self, paper_l6):
+        ev = evaluate_loop(
+            make_kernel("iccg"), paper_l6, Model.UNIFIED, register_budget=8
+        )
+        alloc = ev.requirement.unified
+        execute_kernel(ev.schedule, alloc, iterations=12)
+
+
+class TestTrafficCrossCheck:
+    def test_empirical_density_matches_analytic(self, paper_l3):
+        ev = evaluate_loop(example_loop(), paper_l3, Model.UNIFIED)
+        report = execute_kernel(
+            ev.schedule, ev.requirement.unified, iterations=50
+        )
+        assert report.average_bus_usage(
+            paper_l3.memory_bandwidth
+        ) == pytest.approx(ev.traffic_density)

@@ -1,0 +1,97 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.operation import Operation, OpType
+from repro.sim.reference import (
+    ReferenceInterpreter,
+    apply_op,
+    array_value,
+    initial_value,
+    invariant_value,
+)
+from repro.spill.spiller import spill_value
+from repro.workloads.kernels import example_loop
+
+
+class TestDeterministicValues:
+    def test_array_values_reproducible(self):
+        assert array_value("x", 3) == array_value("x", 3)
+        assert array_value("x", 3) != array_value("x", 4)
+        assert array_value("x", 3) != array_value("y", 3)
+
+    def test_values_in_unit_range(self):
+        for i in range(20):
+            assert 1.0 <= array_value("x", i) < 2.0
+            assert 1.0 <= initial_value(3, -i - 1) < 2.0
+        assert 1.0 <= invariant_value("r") < 2.0
+
+
+class TestApplyOp:
+    def _op(self, optype):
+        return Operation(0, "t", optype)
+
+    def test_arithmetic(self):
+        assert apply_op(self._op(OpType.FADD), [2.0, 3.0]) == 5.0
+        assert apply_op(self._op(OpType.FSUB), [2.0, 3.0]) == -1.0
+        assert apply_op(self._op(OpType.FMUL), [2.0, 3.0]) == 6.0
+        assert apply_op(self._op(OpType.FDIV), [6.0, 3.0]) == 2.0
+        assert apply_op(self._op(OpType.FNEG), [2.0]) == -2.0
+        assert apply_op(self._op(OpType.FCONV), [2.5]) == 2.5
+
+    def test_divide_by_zero_guard(self):
+        assert apply_op(self._op(OpType.FDIV), [5.0, 0.0]) == 5.0
+
+    def test_load_has_no_arithmetic(self):
+        with pytest.raises(ValueError):
+            apply_op(self._op(OpType.LOAD), [])
+
+
+class TestInterpretation:
+    def test_example_loop_semantics(self):
+        graph = example_loop().graph
+        named = {op.name: op.op_id for op in graph.operations}
+        ref = ReferenceInterpreter(graph)
+        k = 5
+        l1 = array_value("x", k)
+        l2 = array_value("y", k)
+        r = invariant_value("r")
+        t = invariant_value("t")
+        expected = l1 + t * (r * l1 + l2)
+        assert ref.value(named["A6"], k) == pytest.approx(expected)
+
+    def test_negative_iteration_gives_initial_values(self):
+        graph = example_loop().graph
+        ref = ReferenceInterpreter(graph)
+        v = ref.value(0, -1)
+        assert v == initial_value(0, -1)
+
+    def test_reduction_accumulates(self):
+        b = LoopBuilder()
+        acc = b.placeholder()
+        s = b.add(acc, b.load("x"), name="s")
+        b.bind(acc, s, distance=1)
+        graph = b.build().graph
+        ref = ReferenceInterpreter(graph)
+        expected = initial_value(s.op_id, -1)
+        for k in range(4):
+            expected += array_value("x", k)
+        assert ref.value(s.op_id, 3) == pytest.approx(expected)
+
+    def test_reload_returns_stored_value(self):
+        graph = example_loop().graph
+        named = {op.name: op.op_id for op in graph.operations}
+        spilled = spill_value(graph, named["M3"])
+        ref = ReferenceInterpreter(spilled)
+        reload_op = next(
+            op
+            for op in spilled.operations
+            if op.is_spill and op.optype is OpType.LOAD
+        )
+        assert ref.value(reload_op.op_id, 4) == ref.value(named["M3"], 4)
+
+    def test_memoization_consistency(self):
+        graph = example_loop().graph
+        ref = ReferenceInterpreter(graph)
+        assert ref.value(4, 7) == ref.value(4, 7)

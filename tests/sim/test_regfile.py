@@ -1,0 +1,73 @@
+"""Unit tests for the functional register-file model."""
+
+import pytest
+
+from repro.regalloc.firstfit import PlacedLifetime
+from repro.regalloc.lifetimes import Lifetime
+from repro.sim.regfile import RegisterFile, RegisterFileError
+
+
+def _file(registers=4, ii=1, placements=None):
+    placements = placements or {
+        0: PlacedLifetime(Lifetime(0, 0, 2), 0, ii),
+        1: PlacedLifetime(Lifetime(1, 0, 2), 2, ii),
+    }
+    return RegisterFile("test", registers, placements, ii)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        rf = _file()
+        rf.write(0, 0, 1.5, time=0)
+        assert rf.read(0, 0, time=1) == 1.5
+        assert rf.reads == 1 and rf.writes == 1
+
+    def test_rotation_across_iterations(self):
+        rf = _file()
+        for k in range(6):
+            rf.write(0, k, float(k), time=k)
+        # Distinct iterations map to distinct cells modulo the file size.
+        regs = {rf.physical_register(0, k) for k in range(4)}
+        assert len(regs) == 4
+
+    def test_overwrite_detected_on_read(self):
+        rf = _file(registers=1, placements={
+            0: PlacedLifetime(Lifetime(0, 0, 2), 0, 1),
+        })
+        rf.write(0, 0, 1.0, time=0)
+        rf.write(0, 1, 2.0, time=1)  # same cell (file size 1)
+        with pytest.raises(RegisterFileError, match="overwritten"):
+            rf.read(0, 0, time=2)
+
+    def test_read_before_write_detected(self):
+        rf = _file()
+        rf.write(0, 0, 1.0, time=5)
+        with pytest.raises(RegisterFileError, match="before write"):
+            rf.read(0, 0, time=3)
+
+    def test_unallocated_value_rejected(self):
+        rf = _file()
+        with pytest.raises(RegisterFileError):
+            rf.write(9, 0, 1.0, time=0)
+        with pytest.raises(RegisterFileError):
+            rf.read(9, 0, time=0)
+
+    def test_holds(self):
+        rf = _file()
+        assert rf.holds(0) and rf.holds(1)
+        assert not rf.holds(5)
+
+
+class TestPhysicalMapping:
+    def test_shift_offsets_register(self):
+        rf = _file()
+        assert rf.physical_register(0, 0) == 0
+        assert rf.physical_register(1, 2) == 0  # (2 - 2) mod 4
+
+    def test_negative_unwrapped_register_wraps(self):
+        rf = _file()
+        assert rf.physical_register(1, 0) == (0 - 2) % 4
+
+    def test_invalid_register_count(self):
+        with pytest.raises(ValueError):
+            RegisterFile("bad", -1, {}, 1)

@@ -1,0 +1,66 @@
+"""Tests for the spiller's plateau detection (issue-burst-bound loops)."""
+
+import pytest
+
+from repro.core.models import Model
+from repro.machine.config import paper_config
+from repro.spill.spiller import evaluate_loop
+from repro.workloads.synthetic import SyntheticConfig, generate_loop
+
+
+@pytest.fixture(scope="module")
+def wide_loop():
+    """A wide, shallow loop whose producers issue in a dense burst: spilling
+    everything still leaves more short lifetimes live at once than a small
+    file can hold, and raising the II does not spread the burst."""
+    cfg = SyntheticConfig(
+        size_mu=None,
+        size_classes=(
+            __import__(
+                "repro.workloads.synthetic", fromlist=["SizeClass"]
+            ).SizeClass("wide", 1.0, 60, 60),
+        ),
+        chain_bias=0.05,
+        recurrence_prob=0.0,
+    )
+    return generate_loop(0, config=cfg)
+
+
+class TestPlateauDetection:
+    def test_unfit_reported_not_hung(self, wide_loop):
+        machine = paper_config(6)
+        ev = evaluate_loop(
+            wide_loop, machine, Model.UNIFIED, register_budget=8
+        )
+        assert not ev.fits
+        # Plateau detection must kick in well before the round cap.
+        assert ev.ii_increases < 200
+
+    def test_increase_ii_strategy_also_detects_plateau(self, wide_loop):
+        machine = paper_config(6)
+        ev = evaluate_loop(
+            wide_loop,
+            machine,
+            Model.UNIFIED,
+            register_budget=8,
+            pressure_strategy="increase_ii",
+        )
+        assert not ev.fits
+        assert ev.spilled_values == 0
+        assert ev.ii_increases < 200
+
+    def test_generous_budget_still_fits(self, wide_loop):
+        machine = paper_config(6)
+        ev = evaluate_loop(
+            wide_loop, machine, Model.UNIFIED, register_budget=256
+        )
+        assert ev.fits
+        assert ev.spilled_values == 0
+
+    def test_best_effort_schedule_still_valid(self, wide_loop):
+        machine = paper_config(6)
+        ev = evaluate_loop(
+            wide_loop, machine, Model.UNIFIED, register_budget=8
+        )
+        ev.schedule.verify()
+        assert ev.requirement.registers > 8

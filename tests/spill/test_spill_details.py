@@ -1,0 +1,92 @@
+"""Edge-case tests for spill-code insertion."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.operation import OpType, ValueRef
+from repro.ir.validate import validate_graph
+from repro.sched.modulo import modulo_schedule
+from repro.sim.executor import execute_kernel
+from repro.regalloc.allocation import allocate_unified
+from repro.spill.spiller import spill_value
+
+
+class TestReloadSharing:
+    def test_double_use_by_one_consumer_shares_a_reload(self):
+        b = LoopBuilder()
+        x = b.load("x")
+        sq = b.mul(x, x, name="sq")  # consumes x twice at distance 0
+        b.store(sq, "y")
+        graph = b.build().graph
+        spilled = spill_value(graph, x.op_id)
+        reloads = [
+            op
+            for op in spilled.operations
+            if op.is_spill and op.optype is OpType.LOAD
+        ]
+        assert len(reloads) == 1
+        sq_op = next(op for op in spilled.operations if op.name == "sq")
+        producers = {o.producer for o in sq_op.value_operands()}
+        assert producers == {reloads[0].op_id}
+
+    def test_distinct_distances_get_distinct_reloads(self):
+        b = LoopBuilder()
+        ph1 = b.placeholder()
+        ph2 = b.placeholder()
+        u = b.load("u")
+        t = b.add(ph1, u, name="t")
+        w = b.add(ph2, t, name="w")
+        b.bind(ph1, t, distance=1)
+        b.bind(ph2, t, distance=2)
+        b.store(w, "w")
+        graph = b.build().graph
+        spilled = spill_value(graph, t.op_id)
+        # t's consumers: itself at distance 1 (ph1), w at distance 2 (ph2)
+        # and w again directly at distance 0 -> three distinct reloads.
+        reload_edges = spilled.extra_edges()
+        assert sorted(e.distance for e in reload_edges) == [0, 1, 2]
+        validate_graph(spilled)
+
+    def test_two_consumers_two_reloads(self):
+        b = LoopBuilder()
+        x = b.load("x")
+        a = b.add(x, "c0")
+        m = b.mul(x, "c1")
+        b.store(a, "a")
+        b.store(m, "m")
+        graph = b.build().graph
+        spilled = spill_value(graph, x.op_id)
+        reloads = [
+            op
+            for op in spilled.operations
+            if op.is_spill and op.optype is OpType.LOAD
+        ]
+        assert len(reloads) == 2
+
+
+class TestSpilledSemantics:
+    def test_recurrence_spill_roundtrip_simulates(self, paper_l3):
+        """Spilling a loop-carried value routes the recurrence through
+        memory with the right distance -- verified functionally."""
+        b = LoopBuilder()
+        ph = b.placeholder()
+        s = b.add(ph, b.load("x"), name="s")
+        b.bind(ph, s, distance=1)
+        b.store(s, "out")
+        graph = b.build().graph
+        spilled = spill_value(graph, s.op_id)
+        schedule = modulo_schedule(spilled, paper_l3)
+        execute_kernel(schedule, allocate_unified(schedule), iterations=12)
+
+    def test_double_spill_different_values(self, paper_l3):
+        graph_source = LoopBuilder()
+        x = graph_source.load("x")
+        y = graph_source.load("y")
+        t = graph_source.add(x, y)
+        graph_source.store(graph_source.mul(t, "c"), "z")
+        graph = graph_source.build().graph
+        once = spill_value(graph, x.op_id)
+        twice = spill_value(once, y.op_id)
+        validate_graph(twice)
+        schedule = modulo_schedule(twice, paper_l3)
+        execute_kernel(schedule, allocate_unified(schedule), iterations=8)

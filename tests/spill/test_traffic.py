@@ -1,0 +1,65 @@
+"""Unit tests for memory-traffic metrics."""
+
+import pytest
+
+from repro.core.models import Model
+from repro.spill.spiller import evaluate_loop, spill_value
+from repro.spill.traffic import (
+    aggregate_density,
+    aggregate_traffic,
+    loop_density,
+    memory_ops,
+    spill_memory_ops,
+)
+from repro.workloads.kernels import example_loop, make_kernel
+
+
+class TestCounting:
+    def test_memory_ops(self):
+        graph = example_loop().graph
+        assert memory_ops(graph) == 3  # L1, L2, S7
+        assert spill_memory_ops(graph) == 0
+
+    def test_spill_ops_counted(self):
+        graph = example_loop().graph
+        named = {op.name: op.op_id for op in graph.operations}
+        spilled = spill_value(graph, named["L1"])
+        assert memory_ops(spilled) == 6
+        assert spill_memory_ops(spilled) == 3
+
+
+class TestAggregates:
+    def test_density_weighted_by_cycles(self, paper_l3):
+        evs = [
+            evaluate_loop(example_loop(), paper_l3, Model.UNIFIED),
+            evaluate_loop(make_kernel("daxpy"), paper_l3, Model.UNIFIED),
+        ]
+        density = aggregate_density(evs)
+        accesses = sum(
+            ev.loop.trip_count * ev.memory_ops_per_iteration for ev in evs
+        )
+        capacity = sum(ev.cycles * 2 for ev in evs)
+        assert density == pytest.approx(accesses / capacity)
+        assert 0.0 < density <= 1.0
+
+    def test_aggregate_traffic(self, paper_l3):
+        ev = evaluate_loop(example_loop(), paper_l3, Model.UNIFIED)
+        assert aggregate_traffic([ev]) == ev.loop.trip_count * 3
+
+    def test_loop_density_matches_evaluation(self, paper_l3):
+        ev = evaluate_loop(example_loop(), paper_l3, Model.UNIFIED)
+        assert loop_density(ev) == ev.traffic_density
+
+    def test_empty_aggregate(self):
+        assert aggregate_density([]) == 0.0
+        assert aggregate_traffic([]) == 0
+
+    def test_spilling_raises_traffic(self, paper_l6):
+        """Spill code always adds accesses; density may stay flat when the
+        II inflates along with the traffic (the paper's L6/R32 observation),
+        so the monotone quantity is total traffic."""
+        free = evaluate_loop(example_loop(), paper_l6, Model.UNIFIED)
+        tight = evaluate_loop(
+            example_loop(), paper_l6, Model.UNIFIED, register_budget=12
+        )
+        assert aggregate_traffic([tight]) > aggregate_traffic([free])

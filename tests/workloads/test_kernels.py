@@ -1,0 +1,92 @@
+"""Unit tests for the hand-written kernels."""
+
+import pytest
+
+from repro.ir.operation import OpType
+from repro.ir.validate import validate_graph
+from repro.sched.modulo import modulo_schedule
+from repro.workloads.kernels import (
+    all_kernels,
+    example_loop,
+    kernel_names,
+    make_kernel,
+)
+
+
+class TestRegistry:
+    def test_at_least_thirty_kernels(self):
+        assert len(kernel_names()) >= 30
+
+    def test_names_sorted_and_unique(self):
+        names = kernel_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_make_kernel_by_name(self):
+        loop = make_kernel("daxpy")
+        assert loop.name == "daxpy"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            make_kernel("not-a-kernel")
+
+    def test_all_kernels_instantiates_everything(self):
+        loops = all_kernels()
+        assert len(loops) == len(kernel_names())
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_validates(self, name):
+        validate_graph(make_kernel(name).graph)
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_has_source_and_trips(self, name):
+        loop = make_kernel(name)
+        assert loop.source
+        assert loop.trip_count > 0
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_stores_something(self, name):
+        graph = make_kernel(name).graph
+        has_store = graph.count(OpType.STORE) > 0
+        has_reduction = any(
+            ref.distance > 0
+            for op in graph.operations
+            for ref in op.value_operands()
+        )
+        assert has_store or has_reduction
+
+    def test_kernels_are_fresh_instances(self):
+        a = make_kernel("daxpy")
+        b = make_kernel("daxpy")
+        assert a.graph is not b.graph
+
+
+class TestExampleLoop:
+    def test_structure_matches_figure_2b(self):
+        loop = example_loop()
+        graph = loop.graph
+        named = {op.name: op for op in graph.operations}
+        assert set(named) == {"L1", "L2", "M3", "A4", "M5", "A6", "S7"}
+        consumers = {
+            name: sorted(c.name for c, _ in graph.consumers(op.op_id))
+            for name, op in named.items()
+            if op.defines_value
+        }
+        assert consumers["L1"] == ["A6", "M3"]
+        assert consumers["L2"] == ["A4"]
+        assert consumers["M3"] == ["A4"]
+        assert consumers["A4"] == ["M5"]
+        assert consumers["M5"] == ["A6"]
+        assert consumers["A6"] == ["S7"]
+
+    def test_op_types(self):
+        graph = example_loop().graph
+        named = {op.name: op.optype for op in graph.operations}
+        assert named["M3"] is OpType.FMUL and named["M5"] is OpType.FMUL
+        assert named["A4"] is OpType.FADD and named["A6"] is OpType.FADD
+
+    def test_schedulable_at_ii_one(self, example_machine):
+        schedule = modulo_schedule(example_loop().graph, example_machine)
+        assert schedule.ii == 1

@@ -1,0 +1,51 @@
+"""Unit tests for workload suites."""
+
+from repro.workloads.kernels import kernel_names
+from repro.workloads.suite import Suite, perfect_club_like, quick_suite
+
+
+class TestPerfectClubLike:
+    def test_requested_size(self):
+        suite = perfect_club_like(100)
+        assert len(suite) == 100
+
+    def test_kernels_included_first(self):
+        suite = perfect_club_like(100)
+        names = [loop.name for loop in suite][: len(kernel_names())]
+        assert names == kernel_names()
+
+    def test_kernels_can_be_excluded(self):
+        suite = perfect_club_like(50, include_kernels=False)
+        assert all(loop.name.startswith("synthetic") for loop in suite)
+
+    def test_deterministic(self):
+        a = perfect_club_like(60)
+        b = perfect_club_like(60)
+        assert [l.name for l in a] == [l.name for l in b]
+        assert [l.trip_count for l in a] == [l.trip_count for l in b]
+
+    def test_total_trips_positive(self):
+        suite = quick_suite(20)
+        assert suite.total_trips > 0
+
+
+class TestSubset:
+    def test_subset_size(self):
+        suite = perfect_club_like(100)
+        sub = suite.subset(10)
+        assert len(sub) == 10
+
+    def test_subset_strided_across_suite(self):
+        suite = perfect_club_like(100)
+        sub = suite.subset(10)
+        positions = [list(suite.loops).index(l) for l in sub.loops]
+        assert positions[0] == 0
+        assert positions[-1] >= 80  # reaches into the tail
+
+    def test_subset_of_smaller_suite_is_identity(self):
+        suite = perfect_club_like(20)
+        assert suite.subset(50) is suite
+
+    def test_subset_name(self):
+        suite = Suite("s", perfect_club_like(30).loops)
+        assert suite.subset(5).name == "s-sub5"
