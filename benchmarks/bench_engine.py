@@ -1,0 +1,76 @@
+"""Engine throughput: serial vs. pooled vs. warm-cache sweep execution.
+
+Reports points/sec for the same job list run three ways, which is the
+engine's whole value proposition: pooling should approach a core-count
+speedup on the spill pipeline, and a warm cache should beat both by at
+least an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.models import Model
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import evaluate_job, pressure_job
+from repro.engine.pool import default_workers, run_jobs
+from repro.machine.config import paper_config
+
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", default_workers()))
+
+
+def _jobs(loops):
+    machine = paper_config(6)
+    jobs = [pressure_job(loop, machine) for loop in loops]
+    for budget in (32, 64):
+        for model in (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED):
+            jobs.extend(
+                evaluate_job(loop, machine, model, budget) for loop in loops
+            )
+    return jobs
+
+
+def _points_per_sec(benchmark, n_jobs):
+    if not benchmark.stats:  # --benchmark-disable: nothing was timed
+        return 0.0
+    seconds = benchmark.stats["mean"]
+    rate = n_jobs / seconds if seconds else 0.0
+    benchmark.extra_info["points_per_sec"] = round(rate, 1)
+    return rate
+
+
+def test_engine_serial(benchmark, spill_suite):
+    jobs = _jobs(spill_suite)
+    benchmark.pedantic(
+        run_jobs, args=(jobs,), kwargs={"workers": 0}, rounds=1, iterations=1
+    )
+    _points_per_sec(benchmark, len(jobs))
+
+
+def test_engine_pooled(benchmark, spill_suite):
+    jobs = _jobs(spill_suite)
+    benchmark.extra_info["workers"] = BENCH_WORKERS
+    benchmark.pedantic(
+        run_jobs,
+        args=(jobs,),
+        kwargs={"workers": BENCH_WORKERS},
+        rounds=1,
+        iterations=1,
+    )
+    _points_per_sec(benchmark, len(jobs))
+
+
+def test_engine_warm_cache(benchmark, spill_suite, tmp_path):
+    jobs = _jobs(spill_suite)
+    warm = ResultCache(directory=tmp_path / "cache")
+    run_jobs(jobs, workers=BENCH_WORKERS, cache=warm)  # prime
+
+    def warm_run():
+        # Fresh instance: hits must come from disk, not process memory.
+        cache = ResultCache(directory=tmp_path / "cache")
+        results = run_jobs(jobs, workers=0, cache=cache)
+        assert cache.stats.misses == 0
+        return results
+
+    benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    _points_per_sec(benchmark, len(jobs))

@@ -1,0 +1,67 @@
+"""Custom scenario sweeps through the parallel engine.
+
+Two ways to sweep:
+
+1. a named grid from the registry (what ``python -m repro sweep`` runs)::
+
+       python -m repro sweep --name rf-size --loops 64 --workers 4
+
+2. an arbitrary :class:`repro.SweepSpec` built in Python -- this script
+   sweeps register-file sizes across three cluster counts and two suite
+   seeds, something no single paper figure covers.
+
+Pass a suite size to scale up, e.g.::
+
+    python examples/sweep_models.py 200
+
+Run:  python examples/sweep_models.py
+"""
+
+import sys
+
+from repro import (
+    Engine,
+    Model,
+    ResultCache,
+    SweepSpec,
+    format_outcome,
+    named_sweep,
+    run_sweep,
+)
+
+
+def main() -> None:
+    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+
+    # Serial engine with an in-memory cache: deterministic and self-contained.
+    # For real sweeps use Engine(cache=ResultCache(default_cache_dir()))
+    # to pool across every core and persist results across runs.
+    engine = Engine(workers=0, cache=ResultCache(directory=None))
+
+    # 1. A registry sweep, rescaled.
+    spec = named_sweep("rf-size", n_loops=n_loops)
+    print(format_outcome(run_sweep(spec, engine=engine)))
+
+    # 2. A fully custom grid: cluster counts x seeds x register budgets.
+    custom = SweepSpec(
+        name="clusters-vs-budget",
+        kind="evaluate",
+        n_loops=n_loops,
+        seeds=(20061995, 7),
+        latencies=(6,),
+        cluster_counts=(1, 2, 4),
+        budgets=(24, 48),
+        models=(Model.UNIFIED, Model.PARTITIONED),
+    )
+    print()
+    print(format_outcome(run_sweep(custom, engine=engine)))
+
+    stats = engine.cache.stats
+    print(
+        f"\nengine: {stats.lookups} lookups, "
+        f"{100 * stats.hit_rate:.1f}% served from cache"
+    )
+
+
+if __name__ == "__main__":
+    main()

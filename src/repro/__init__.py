@@ -30,6 +30,9 @@ Quickstart::
 
 from repro.core.models import Model, Requirement, required_registers
 from repro.core.pressure import PressureReport, pressure_report
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.pool import Engine, serial_engine
+from repro.engine.sweep import SweepSpec, format_outcome, named_sweep, run_sweep
 from repro.ir.builder import LoopBuilder
 from repro.ir.loop import Loop
 from repro.machine.config import (
@@ -46,6 +49,7 @@ from repro.spill.spiller import LoopEvaluation, evaluate_loop
 __version__ = "1.0.0"
 
 __all__ = [
+    "Engine",
     "Loop",
     "LoopBuilder",
     "LoopEvaluation",
@@ -53,15 +57,22 @@ __all__ = [
     "Model",
     "PressureReport",
     "Requirement",
+    "ResultCache",
+    "SweepSpec",
     "clustered_config",
     "compact_schedule",
+    "default_cache_dir",
     "evaluate_loop",
     "example_config",
+    "format_outcome",
     "modulo_schedule",
+    "named_sweep",
     "paper_config",
     "pressure_report",
     "pxly",
     "required_registers",
+    "run_sweep",
     "schedule_loop",
+    "serial_engine",
     "__version__",
 ]

@@ -1,9 +1,120 @@
-"""``python -m repro`` — run the full experiment suite.
+"""``python -m repro`` -- experiments, sweeps, and cache management.
 
-Delegates to :mod:`repro.experiments.runner`; see ``--help`` for options.
+Subcommands::
+
+    python -m repro run --loops 200 --workers 8   # the full paper suite
+    python -m repro sweep --name rf-size --loops 64
+    python -m repro sweep --loops 8 --workers 2   # default grid, smoke scale
+    python -m repro cache show
+    python -m repro cache prune   # drop entries orphaned by code edits
+    python -m repro cache clear
+
+``run`` is the default: ``python -m repro --loops 200`` still works exactly
+as it always has, now evaluated through the parallel engine.
 """
 
-from repro.experiments.runner import main
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.sweep import (
+    NAMED_SWEEPS,
+    format_outcome,
+    named_sweep,
+    run_sweep,
+)
+from repro.experiments.runner import (
+    add_engine_arguments,
+    add_run_arguments,
+    engine_from_args,
+    run_all,
+)
+
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run the full experiment suite")
+    add_run_arguments(run_p)
+    add_engine_arguments(run_p)
+
+    sweep_p = sub.add_parser("sweep", help="run a scenario sweep")
+    sweep_p.add_argument(
+        "--name",
+        default="performance",
+        choices=sorted(NAMED_SWEEPS),
+        help="named sweep grid (default: performance)",
+    )
+    sweep_p.add_argument(
+        "--loops", type=int, default=None, help="suite size override"
+    )
+    sweep_p.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        default=None,
+        help="suite seed(s); repeat the flag to sweep several",
+    )
+    add_engine_arguments(sweep_p)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=("show", "clear", "prune"))
+    cache_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    print(run_all(args.loops, args.spill_loops, engine=engine_from_args(args)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.loops is not None:
+        overrides["n_loops"] = args.loops
+    if args.seed:
+        overrides["seeds"] = tuple(args.seed)
+    spec = named_sweep(args.name, **overrides)
+    outcome = run_sweep(
+        spec, engine=engine_from_args(args), echo_progress=True
+    )
+    print(format_outcome(outcome))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(directory=args.cache_dir or default_cache_dir())
+    if args.action == "show":
+        print(cache.describe())
+    elif args.action == "prune":
+        removed = cache.prune()
+        print(f"pruned {removed} orphaned result(s)")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s)")
+    return 0
+
+
+#: Single source of truth for dispatch and the backward-compat shim.
+HANDLERS = {"run": _cmd_run, "sweep": _cmd_sweep, "cache": _cmd_cache}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: ``python -m repro --loops 200`` runs the suite.
+    if not argv or (argv[0] not in HANDLERS and argv[0] not in ("-h", "--help")):
+        argv.insert(0, "run")
+    args = _build_parser().parse_args(argv)
+    return HANDLERS[args.command](args)
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

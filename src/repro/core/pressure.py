@@ -38,6 +38,10 @@ class PressureReport:
     def ii(self) -> int:
         return self.schedule.ii
 
+    @property
+    def trip_count(self) -> int:
+        return self.loop.trip_count
+
     def requirement(self, model: Model) -> int:
         if model in (Model.IDEAL, Model.UNIFIED):
             return self.unified

@@ -1,0 +1,280 @@
+"""On-disk artifact store for job results, with an in-process LRU on top.
+
+Layout: one JSON file per result under ``<dir>/<key[:2]>/<key>.json`` (the
+two-character shard keeps directories small at paper scale).  Every file
+records the schema version and its own key; a file that fails to parse, was
+written under another schema, or does not match its name is treated as a
+miss, deleted, and counted in :attr:`CacheStats.corrupt` -- a damaged cache
+degrades to recomputation, never to wrong numbers.
+
+Writes go through a temp file + :func:`os.replace` so a crash mid-write
+cannot leave a truncated entry behind, and concurrent writers of the same
+key (e.g. two sweeps racing) simply last-write-win identical content.
+
+The in-process LRU makes repeated points *within* one run free even when
+the disk cache is disabled; it is bounded so paper-scale sweeps cannot
+balloon resident memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.jobs import (
+    ENGINE_SCHEMA_VERSION,
+    EvalJob,
+    JobResult,
+    result_from_dict,
+    result_to_dict,
+    source_fingerprint,
+)
+
+DEFAULT_MEMORY_ENTRIES = 65536
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-engine``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def summary(self) -> str:
+        """The one-line form every CLI surface prints."""
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.1f}% hit rate)"
+        )
+
+
+@dataclass
+class ResultCache:
+    """Job-keyed result store: bounded in-memory LRU over on-disk JSON.
+
+    ``directory=None`` disables the disk tier (memory-only cache).
+    """
+
+    directory: Path | None = None
+    max_memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: OrderedDict[str, JobResult] = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        # Directory creation is deferred to the first put(): read-only uses
+        # (``cache show`` on a mistyped path) must not write anything.
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _remember(self, key: str, result: JobResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def get(self, job: EvalJob) -> JobResult | None:
+        """The cached result of ``job``, or ``None`` on a miss."""
+        key = job.key
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            result = self._read_disk(key)
+            if result is not None:
+                self._remember(key, result)
+                self.stats.hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def _read_disk(self, key: str) -> JobResult | None:
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            # Missing entry or transient I/O failure: a plain miss.  The
+            # file (if any) may be perfectly valid -- don't delete it.
+            return None
+        try:
+            payload = json.loads(text)
+            if payload["schema"] != ENGINE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            if payload["key"] != key:
+                raise ValueError("key mismatch")
+            return result_from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # read-only cache: leave the bad entry be
+                pass
+            return None
+
+    def put(self, job: EvalJob, result: JobResult) -> None:
+        """Store a freshly computed result in both tiers."""
+        key = job.key
+        self._remember(key, result)
+        if self.directory is None:
+            self.stats.stores += 1
+            return
+        payload = json.dumps(
+            {
+                "schema": ENGINE_SCHEMA_VERSION,
+                "source": source_fingerprint(),
+                "key": key,
+                "kind": job.kind,
+                "result": result_to_dict(result),
+            }
+        )
+        # An unwritable cache (read-only dir, disk full, path component is
+        # a file) must degrade to recomputation, never abort the run.
+        tmp = None
+        try:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+            self.stats.stores += 1  # only what actually reached disk
+        except OSError:
+            if tmp is not None:
+                try:
+                    Path(tmp).unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - doubly broken dir
+                    pass
+
+    # ------------------------------------------------------------------
+    def _disk_files(self) -> list[Path]:
+        """Cache entries on disk, strictly matching the layout _path writes.
+
+        The shape check (2-hex shard dir, 64-hex name) keeps clear() from
+        ever touching foreign files under a mistyped ``--cache-dir``.
+        """
+        if self.directory is None or not self.directory.exists():
+            return []
+        hexdigits = set("0123456789abcdef")
+        return sorted(
+            p
+            for p in self.directory.glob("*/*.json")
+            if len(p.parent.name) == 2
+            and set(p.parent.name) <= hexdigits
+            and len(p.stem) == 64
+            and set(p.stem) <= hexdigits
+        )
+
+    def entry_count(self) -> int:
+        """Number of results on disk (memory-only entries excluded)."""
+        return len(self._disk_files())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for p in self._disk_files():
+            try:
+                total += p.stat().st_size
+            except OSError:  # unlinked by a concurrent clear/recompute
+                continue
+        return total
+
+    def clear(self) -> int:
+        """Drop every entry from both tiers; returns files removed."""
+        self._memory.clear()
+        files = self._disk_files()
+        for path in files:
+            path.unlink(missing_ok=True)
+        return len(files)
+
+    def prune(self) -> int:
+        """Remove entries no *current* job can ever look up again.
+
+        Entries are keyed by schema + source fingerprint, so files written
+        under an older schema or an edited codebase are orphaned -- no
+        lookup from this checkout will find (and so retire) them.  Only
+        invoked explicitly (``python -m repro cache prune``): another
+        checkout sharing the cache directory may still be using those
+        entries, so sweeping them automatically would thrash.  Returns the
+        number of files removed; valid current entries are untouched.
+        """
+        current = source_fingerprint()
+        removed = 0
+        for path in self._disk_files():
+            try:
+                text = path.read_text()
+            except OSError:
+                continue  # transient I/O: leave the file alone
+            try:
+                payload = json.loads(text)
+                if (
+                    payload["schema"] == ENGINE_SCHEMA_VERSION
+                    and payload.get("source") == current
+                ):
+                    continue
+            except (ValueError, KeyError, TypeError):
+                pass  # malformed: orphaned either way
+            try:
+                path.unlink(missing_ok=True)
+                removed += 1
+            except OSError:  # pragma: no cover - read-only cache
+                continue
+        return removed
+
+    def describe(self) -> str:
+        """One-paragraph human summary for the ``cache show`` CLI."""
+        where = str(self.directory) if self.directory else "(memory only)"
+        lines = [
+            f"cache directory : {where}",
+            f"entries on disk : {self.entry_count()}",
+            f"size on disk    : {self.total_bytes() / 1024:.1f} KiB",
+            f"schema version  : {ENGINE_SCHEMA_VERSION}",
+        ]
+        if self.stats.lookups:
+            lines.append(f"this process    : {self.stats.summary()}")
+        return "\n".join(lines)
+
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_MEMORY_ENTRIES",
+    "ResultCache",
+    "default_cache_dir",
+]

@@ -1,0 +1,371 @@
+"""Declarative evaluation jobs with deterministic content hashing.
+
+An :class:`EvalJob` names one point of an experiment grid: one loop, one
+machine, one register-file model, and the scheduler/spill options that
+influence the numbers.  Jobs are *content-addressed*: two jobs whose loops
+have identical dependence graphs and trip counts, on structurally identical
+machines, with the same model and options, hash to the same key -- no matter
+which driver built them or in which process.  That key is what the result
+cache (:mod:`repro.engine.cache`) and the worker pool
+(:mod:`repro.engine.pool`) operate on.
+
+Hashes are SHA-256 over a canonical JSON payload, so they are stable across
+processes and interpreter runs (unlike :func:`hash`, which is randomized).
+``ENGINE_SCHEMA_VERSION`` salts every key; bump it whenever a change to the
+pipeline can alter results, and stale cache entries die naturally.
+
+Results are summaries, not pipelines: a :class:`PressureResult` or
+:class:`EvalResult` carries exactly the numbers the figure/table drivers
+aggregate, and round-trips through JSON for the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from functools import cached_property, lru_cache
+from pathlib import Path
+from weakref import WeakKeyDictionary
+
+from repro.core.models import Model
+from repro.core.pressure import pressure_report
+from repro.core.swapping import SwapEstimator
+from repro.ir.ddg import DependenceGraph
+from repro.ir.operation import Immediate, InvariantRef, ValueRef
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.spill.spiller import evaluate_loop
+
+#: Bump when evaluation semantics change; invalidates every cached result.
+ENGINE_SCHEMA_VERSION = 1
+
+PRESSURE = "pressure"
+EVALUATE = "evaluate"
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+def _operand_token(operand) -> list:
+    if isinstance(operand, ValueRef):
+        return ["v", operand.producer, operand.distance]
+    if isinstance(operand, InvariantRef):
+        return ["i", operand.name]
+    if isinstance(operand, Immediate):
+        return ["c", operand.value]
+    raise TypeError(f"unknown operand {operand!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Hash of every ``repro`` source file, folded into each job key.
+
+    Cached results must never outlive the code that produced them: editing
+    any module retires the whole cache automatically, with no reliance on
+    someone remembering to bump ``ENGINE_SCHEMA_VERSION``.
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:  # pragma: no cover - vanished mid-walk
+            continue
+    return digest.hexdigest()
+
+
+#: Fingerprints memoized per object: drivers reuse the same Loop and
+#: MachineConfig instances across hundreds of jobs, and re-serializing the
+#: graph for each would dominate the warm-cache fast path.  Content is
+#: hashed at first sight -- don't mutate a graph after handing it to the
+#: engine.
+_graph_fingerprints: "WeakKeyDictionary[DependenceGraph, str]" = (
+    WeakKeyDictionary()
+)
+_machine_fingerprints: "WeakKeyDictionary[MachineConfig, str]" = (
+    WeakKeyDictionary()
+)
+
+
+def graph_fingerprint(graph: DependenceGraph) -> str:
+    """Content hash of a dependence graph.
+
+    Covers everything that influences scheduling and allocation -- operation
+    types, operand wiring, spill flags, explicit edges -- and deliberately
+    excludes display names, so structurally identical loops share cache
+    entries regardless of how they were labelled.
+    """
+    cached = _graph_fingerprints.get(graph)
+    if cached is not None:
+        return cached
+    payload = {
+        "ops": [
+            [
+                op.op_id,
+                op.optype.value,
+                [_operand_token(o) for o in op.operands],
+                op.symbol,
+                op.is_spill,
+            ]
+            for op in graph.operations
+        ],
+        "edges": [
+            [e.src, e.dst, e.kind.value, e.distance, e.min_delay]
+            for e in graph.extra_edges()
+        ],
+    }
+    result = _digest(payload)
+    _graph_fingerprints[graph] = result
+    return result
+
+
+def loop_fingerprint(loop: Loop) -> str:
+    """Content hash of a loop: its graph plus the trip-count weight."""
+    return _digest(
+        {"graph": graph_fingerprint(loop.graph), "trips": loop.trip_count}
+    )
+
+
+def machine_fingerprint(machine: MachineConfig) -> str:
+    """Content hash of a machine configuration (name excluded)."""
+    cached = _machine_fingerprints.get(machine)
+    if cached is not None:
+        return cached
+    payload = {
+        "pools": [[p.name, p.count] for p in machine.pools],
+        "pool_of": sorted(
+            [t.value, p] for t, p in machine.pool_of.items()
+        ),
+        "latency": sorted(
+            [t.value, l] for t, l in machine.latency.items()
+        ),
+        "clusters": machine.n_clusters,
+    }
+    result = _digest(payload)
+    _machine_fingerprints[machine] = result
+    return result
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvalJob:
+    """One point of an experiment grid, ready to execute anywhere.
+
+    ``kind`` selects the pipeline: ``"pressure"`` is the unlimited-register
+    measurement of Figures 6/7 and Table 1; ``"evaluate"`` is the full
+    schedule/allocate/spill pipeline of Figures 8/9.  The loop and machine
+    ride along as objects (they are cheap to pickle) but the cache key is
+    computed from their *content*.
+    """
+
+    kind: str
+    loop: Loop
+    machine: MachineConfig
+    model: str = Model.UNIFIED.value
+    register_budget: int | None = None
+    swap_estimator: str = SwapEstimator.MAXLIVE.value
+    victim_policy: str = "longest"
+    pressure_strategy: str = "spill"
+    max_rounds: int = 200
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PRESSURE, EVALUATE):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        Model(self.model)  # validate early, not in a worker process
+
+    @cached_property
+    def key(self) -> str:
+        """Deterministic cache key; stable across processes and runs."""
+        payload = {
+            "schema": ENGINE_SCHEMA_VERSION,
+            "source": source_fingerprint(),
+            "kind": self.kind,
+            "loop": loop_fingerprint(self.loop),
+            "machine": machine_fingerprint(self.machine),
+        }
+        if self.kind == EVALUATE:
+            payload.update(
+                model=self.model,
+                budget=self.register_budget,
+                swap=self.swap_estimator,
+                victim=self.victim_policy,
+                strategy=self.pressure_strategy,
+                rounds=self.max_rounds,
+            )
+        return _digest(payload)
+
+
+def pressure_job(loop: Loop, machine: MachineConfig) -> EvalJob:
+    """A Figures-6/7/Table-1 measurement: all models, no budget."""
+    return EvalJob(kind=PRESSURE, loop=loop, machine=machine)
+
+
+def evaluate_job(
+    loop: Loop,
+    machine: MachineConfig,
+    model: Model,
+    register_budget: int | None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+    victim_policy: str = "longest",
+    pressure_strategy: str = "spill",
+    max_rounds: int = 200,
+) -> EvalJob:
+    """A Figures-8/9 point: one model under one register budget."""
+    return EvalJob(
+        kind=EVALUATE,
+        loop=loop,
+        machine=machine,
+        model=model.value,
+        register_budget=register_budget,
+        swap_estimator=swap_estimator.value,
+        victim_policy=victim_policy,
+        pressure_strategy=pressure_strategy,
+        max_rounds=max_rounds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PressureResult:
+    """Register requirements of one loop under the three finite models."""
+
+    loop_name: str
+    trip_count: int
+    ii: int
+    mii: int
+    unified: int
+    partitioned: int
+    swapped: int
+    max_live: int
+
+    def requirement(self, model: Model) -> int:
+        if model in (Model.IDEAL, Model.UNIFIED):
+            return self.unified
+        if model is Model.PARTITIONED:
+            return self.partitioned
+        return self.swapped
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Final state of one loop under one model and register budget.
+
+    Field-compatible (duck-typed) with the aggregation surface of
+    :class:`repro.spill.spiller.LoopEvaluation`, so the performance and
+    traffic aggregates accept either.
+    """
+
+    loop_name: str
+    trip_count: int
+    ii: int
+    mii: int
+    spilled_values: int
+    ii_increases: int
+    fits: bool
+    memory_ops_per_iteration: int
+    spill_ops_per_iteration: int
+    memory_bandwidth: int
+    registers_required: int
+
+    @property
+    def cycles(self) -> int:
+        """Steady-state execution cycles: trip count times the final II."""
+        return self.trip_count * self.ii
+
+    @property
+    def traffic_density(self) -> float:
+        """Average fraction of the memory bus used per cycle."""
+        return self.memory_ops_per_iteration / (
+            self.ii * self.memory_bandwidth
+        )
+
+
+JobResult = PressureResult | EvalResult
+
+
+def execute_job(job: EvalJob) -> JobResult:
+    """Run one job in the current process and summarize the outcome."""
+    if job.kind == PRESSURE:
+        report = pressure_report(job.loop, job.machine)
+        return PressureResult(
+            loop_name=job.loop.name,
+            trip_count=job.loop.trip_count,
+            ii=report.ii,
+            mii=report.mii,
+            unified=report.unified,
+            partitioned=report.partitioned,
+            swapped=report.swapped,
+            max_live=report.max_live,
+        )
+    evaluation = evaluate_loop(
+        job.loop,
+        job.machine,
+        Model(job.model),
+        job.register_budget,
+        swap_estimator=SwapEstimator(job.swap_estimator),
+        max_rounds=job.max_rounds,
+        victim_policy=job.victim_policy,
+        pressure_strategy=job.pressure_strategy,
+    )
+    return EvalResult(
+        loop_name=job.loop.name,
+        trip_count=job.loop.trip_count,
+        ii=evaluation.ii,
+        mii=evaluation.mii,
+        spilled_values=evaluation.spilled_values,
+        ii_increases=evaluation.ii_increases,
+        fits=evaluation.fits,
+        memory_ops_per_iteration=evaluation.memory_ops_per_iteration,
+        spill_ops_per_iteration=evaluation.spill_ops_per_iteration,
+        memory_bandwidth=job.machine.memory_bandwidth,
+        registers_required=evaluation.requirement.registers,
+    )
+
+
+def result_to_dict(result: JobResult) -> dict:
+    """JSON-serializable form for the on-disk cache."""
+    data = asdict(result)
+    data["kind"] = PRESSURE if isinstance(result, PressureResult) else EVALUATE
+    return data
+
+
+def result_from_dict(data: dict) -> JobResult:
+    """Inverse of :func:`result_to_dict`; raises on malformed payloads."""
+    data = dict(data)
+    kind = data.pop("kind")
+    if kind == PRESSURE:
+        return PressureResult(**data)
+    if kind == EVALUATE:
+        return EvalResult(**data)
+    raise ValueError(f"unknown result kind {kind!r}")
+
+
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "EVALUATE",
+    "EvalJob",
+    "EvalResult",
+    "JobResult",
+    "PRESSURE",
+    "PressureResult",
+    "evaluate_job",
+    "execute_job",
+    "graph_fingerprint",
+    "loop_fingerprint",
+    "machine_fingerprint",
+    "pressure_job",
+    "result_from_dict",
+    "result_to_dict",
+    "source_fingerprint",
+]

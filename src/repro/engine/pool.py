@@ -1,0 +1,264 @@
+"""Batch job execution: cache lookup, multiprocess dispatch, ordered results.
+
+:func:`run_jobs` is the engine's core primitive.  It resolves every job
+against the cache, ships the misses to a :mod:`multiprocessing` pool in
+chunks, stitches the results back in job order, and writes fresh results
+through to the cache.  ``workers=0`` executes everything serially in the
+calling process -- bit-identical results, one stack to debug.
+
+The :class:`Engine` facade bundles a worker count and a shared cache so the
+experiment drivers can stay declarative: they build jobs and call
+:meth:`Engine.map`.  Identical points recur constantly across drivers
+(Figure 7 re-measures Figure 6's grid; Figure 9 re-runs Figure 8's), so a
+shared engine collapses that duplication even with the disk cache disabled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from dataclasses import replace as _replace
+
+from repro.analysis.performance import ModelRun
+from repro.core.models import Model
+from repro.core.swapping import SwapEstimator
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import (
+    EvalJob,
+    EvalResult,
+    JobResult,
+    PressureResult,
+    evaluate_job,
+    execute_job,
+    pressure_job,
+)
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+
+#: Callback signature: ``progress(done, total)`` after every finished job.
+ProgressFn = Callable[[int, int], None]
+
+
+def default_workers() -> int:
+    """Worker-count default: one process per core, at least one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_keyed(indexed_job: tuple[int, EvalJob]) -> tuple[int, JobResult]:
+    index, job = indexed_job
+    return index, execute_job(job)
+
+
+def _relabel(job: EvalJob, result: JobResult) -> JobResult:
+    """Stamp the requesting loop's name onto a shared result.
+
+    Keys deliberately exclude names, so a cache hit (or in-batch dedup) can
+    serve a result computed for a structurally identical but differently
+    named loop; the numbers transfer, the label must not.
+    """
+    if result.loop_name != job.loop.name:
+        return _replace(result, loop_name=job.loop.name)
+    return result
+
+
+def run_jobs(
+    jobs: Sequence[EvalJob],
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    chunksize: int | None = None,
+    progress: ProgressFn | None = None,
+    pool_factory: "Callable[[], multiprocessing.pool.Pool | None] | None" = None,
+) -> list[JobResult]:
+    """Execute ``jobs`` and return their results in the same order.
+
+    ``workers=None`` uses one process per core; ``workers=0`` (or a single
+    remaining miss) runs serially in-process.  Cached results are never
+    re-dispatched.  ``pool_factory`` lets a caller lend a long-lived pool:
+    it is invoked only once cache misses actually require workers (an
+    all-hits warm run must not pay worker startup), and a pool it returns
+    is used without being closed.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+
+    total = len(jobs)
+    results: list[JobResult | None] = [None] * total
+    misses: list[tuple[int, EvalJob]] = []
+    seen_keys: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []  # (index, first index with key)
+    for index, job in enumerate(jobs):
+        # In-batch duplicates of a pending miss resolve by sharing, before
+        # the cache is consulted -- they are neither hits nor misses.
+        first = seen_keys.get(job.key)
+        if first is not None:
+            duplicates.append((index, first))
+            continue
+        cached = cache.get(job) if cache is not None else None
+        if cached is not None:
+            results[index] = _relabel(job, cached)
+            continue
+        seen_keys[job.key] = index
+        misses.append((index, job))
+
+    done = total - len(misses) - len(duplicates)
+    if progress is not None and done:
+        progress(done, total)
+
+    def finish(
+        index: int, job: EvalJob, result: JobResult, fresh: bool = True
+    ) -> None:
+        nonlocal done
+        results[index] = _relabel(job, result)
+        if fresh and cache is not None:
+            cache.put(job, result)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+    # A one-worker pool would only add IPC overhead; run in-process.
+    if workers <= 1 or len(misses) <= 1:
+        for index, job in misses:
+            finish(index, job, execute_job(job))
+    else:
+        workers = min(workers, len(misses))
+        if chunksize is None:
+            chunksize = max(1, len(misses) // (workers * 4))
+        shared = pool_factory() if pool_factory is not None else None
+        if shared is not None:
+            for index, result in shared.imap_unordered(
+                _execute_keyed, misses, chunksize=chunksize
+            ):
+                finish(index, jobs[index], result)
+        else:
+            with multiprocessing.Pool(processes=workers) as ephemeral:
+                for index, result in ephemeral.imap_unordered(
+                    _execute_keyed, misses, chunksize=chunksize
+                ):
+                    finish(index, jobs[index], result)
+
+    for index, first in duplicates:
+        finish(index, jobs[index], results[first], fresh=False)
+    return results  # type: ignore[return-value]
+
+
+@dataclass
+class Engine:
+    """A worker pool plus a result cache, shared across drivers.
+
+    ``workers=0`` gives the serial debugging engine; ``cache=None`` a
+    stateless one.  :func:`serial_engine` builds the common in-memory
+    default the drivers fall back to when called without an engine.
+
+    The worker pool is created lazily on the first :meth:`map` that has
+    cache misses to execute (an all-hits warm run never spawns workers)
+    and reused for the engine's lifetime -- the experiment runner issues
+    dozens of map calls, and paying worker startup (a full interpreter +
+    import under the spawn start method) per call would swamp them.  Call
+    :meth:`close` (or use the engine as a context manager) to release the
+    workers early; they die with the parent process regardless.
+    """
+
+    workers: int | None = None
+    cache: ResultCache | None = None
+    progress: ProgressFn | None = None
+    jobs_run: int = field(default=0, init=False)
+    _pool: "multiprocessing.pool.Pool | None" = field(
+        default=None, init=False, repr=False
+    )
+
+    def _shared_pool(self) -> "multiprocessing.pool.Pool | None":
+        workers = default_workers() if self.workers is None else self.workers
+        if workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the engine stays usable (re-spawns)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map(self, jobs: Sequence[EvalJob]) -> list[JobResult]:
+        """Execute jobs (cached, pooled) preserving order."""
+        self.jobs_run += len(jobs)
+        return run_jobs(
+            jobs,
+            workers=self.workers,
+            cache=self.cache,
+            progress=self.progress,
+            pool_factory=self._shared_pool,
+        )
+
+    # ------------------------------------------------------------------
+    # Driver-facing conveniences
+    # ------------------------------------------------------------------
+    def pressure_reports(
+        self, loops: Sequence[Loop], machine: MachineConfig
+    ) -> list[PressureResult]:
+        """Unlimited-register measurements for a workload (Figures 6/7)."""
+        return self.map([pressure_job(loop, machine) for loop in loops])
+
+    def run_model(
+        self,
+        loops: Sequence[Loop],
+        machine: MachineConfig,
+        model: Model,
+        register_budget: int | None,
+        swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+        victim_policy: str = "longest",
+        pressure_strategy: str = "spill",
+    ) -> ModelRun:
+        """Engine-backed equivalent of :func:`repro.analysis.run_model`."""
+        evaluations: list[EvalResult] = self.map(
+            [
+                evaluate_job(
+                    loop,
+                    machine,
+                    model,
+                    register_budget,
+                    swap_estimator=swap_estimator,
+                    victim_policy=victim_policy,
+                    pressure_strategy=pressure_strategy,
+                )
+                for loop in loops
+            ]
+        )
+        return ModelRun(
+            model=model,
+            machine=machine,
+            register_budget=register_budget,
+            evaluations=tuple(evaluations),
+        )
+
+
+def serial_engine() -> Engine:
+    """The implicit engine of drivers called without one.
+
+    Serial and memory-cached: identical numbers to direct evaluation, but
+    repeated points within the call (e.g. the Ideal baseline reused by every
+    Figure 8 budget) still collapse.
+    """
+    return Engine(workers=0, cache=ResultCache(directory=None))
+
+
+__all__ = [
+    "Engine",
+    "ProgressFn",
+    "default_workers",
+    "run_jobs",
+    "serial_engine",
+]

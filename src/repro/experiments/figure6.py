@@ -19,11 +19,17 @@ from repro.analysis.distributions import (
     cumulative_distribution,
 )
 from repro.analysis.reporting import bar, format_table
-from repro.core.pressure import PressureReport, pressure_report
+from repro.core.pressure import PressureReport
+from repro.engine.jobs import PressureResult
+from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig, paper_config
 
 MODEL_NAMES = ("unified", "partitioned", "swapped")
+
+#: Either the engine's summary record or the full in-process report; both
+#: expose ``trip_count``, ``ii`` and the three per-model requirements.
+PressureLike = PressureResult | PressureReport
 
 
 @dataclass(frozen=True)
@@ -33,20 +39,23 @@ class DistributionSet:
     machine: str
     latency: int
     curves: dict[str, CumulativeDistribution]
-    reports: tuple[PressureReport, ...]
+    reports: tuple[PressureLike, ...]
 
     def curve(self, model: str) -> CumulativeDistribution:
         return self.curves[model]
 
 
 def collect_reports(
-    loops: Sequence[Loop], machine: MachineConfig
-) -> list[PressureReport]:
-    return [pressure_report(loop, machine) for loop in loops]
+    loops: Sequence[Loop],
+    machine: MachineConfig,
+    engine: Engine | None = None,
+) -> list[PressureResult]:
+    """Measure every loop's register pressure through the engine."""
+    return (engine or serial_engine()).pressure_reports(loops, machine)
 
 
 def build_distributions(
-    reports: Sequence[PressureReport],
+    reports: Sequence[PressureLike],
     machine: MachineConfig,
     latency: int,
     weighted: bool = False,
@@ -54,7 +63,7 @@ def build_distributions(
 ) -> DistributionSet:
     """Assemble the per-model cumulative curves from pressure reports."""
     weights = (
-        [float(r.loop.trip_count * r.ii) for r in reports] if weighted else None
+        [float(r.trip_count * r.ii) for r in reports] if weighted else None
     )
     curves = {}
     for model in MODEL_NAMES:
@@ -75,12 +84,14 @@ def run_figure6(
     latencies: Sequence[int] = (3, 6),
     weighted: bool = False,
     grid: Sequence[int] = DEFAULT_GRID,
+    engine: Engine | None = None,
 ) -> list[DistributionSet]:
     """Compute the Figure 6 (or, with ``weighted=True``, Figure 7) data."""
+    engine = engine or serial_engine()
     sets = []
     for latency in latencies:
         machine = paper_config(latency)
-        reports = collect_reports(loops, machine)
+        reports = collect_reports(loops, machine, engine=engine)
         sets.append(
             build_distributions(reports, machine, latency, weighted, grid)
         )

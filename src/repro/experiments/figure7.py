@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.engine.pool import Engine
 from repro.experiments.figure6 import (
     DistributionSet,
     format_report as _format6,
@@ -22,9 +23,14 @@ from repro.ir.loop import Loop
 def run_figure7(
     loops: Sequence[Loop],
     latencies: Sequence[int] = (3, 6),
+    engine: Engine | None = None,
 ) -> list[DistributionSet]:
-    """Figure 6 weighted by execution time."""
-    return run_figure6(loops, latencies=latencies, weighted=True)
+    """Figure 6 weighted by execution time.
+
+    With a shared (caching) engine the underlying pressure jobs are the
+    same as Figure 6's, so this figure costs nothing beyond re-weighting.
+    """
+    return run_figure6(loops, latencies=latencies, weighted=True, engine=engine)
 
 
 def format_report(sets: Sequence[DistributionSet]) -> str:

@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.performance import ModelRun, relative_performance, run_model
+from repro.analysis.performance import ModelRun, relative_performance
 from repro.analysis.reporting import bar, format_table
 from repro.core.models import Model
+from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig, paper_config
 
@@ -46,18 +47,20 @@ def run_figure8(
     latencies: Sequence[int] = DEFAULT_LATENCIES,
     budgets: Sequence[int] = DEFAULT_BUDGETS,
     models: Sequence[Model] = tuple(Model),
+    engine: Engine | None = None,
 ) -> list[Figure8Cell]:
     """Evaluate the full (latency x budget x model) grid."""
+    engine = engine or serial_engine()
     cells: list[Figure8Cell] = []
     for latency in latencies:
         machine = paper_config(latency)
-        ideal = run_model(loops, machine, Model.IDEAL, None)
+        ideal = engine.run_model(loops, machine, Model.IDEAL, None)
         for budget in budgets:
             for model in models:
                 if model is Model.IDEAL:
                     run = ideal
                 else:
-                    run = run_model(loops, machine, model, budget)
+                    run = engine.run_model(loops, machine, model, budget)
                 cells.append(
                     Figure8Cell(
                         latency=latency,

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.performance import ModelRun, run_model
+from repro.analysis.performance import ModelRun
 from repro.analysis.reporting import bar, format_table
 from repro.core.models import Model
+from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import paper_config
 from repro.spill.traffic import aggregate_density, aggregate_traffic
@@ -44,18 +45,24 @@ def run_figure9(
     latencies: Sequence[int] = DEFAULT_LATENCIES,
     budgets: Sequence[int] = DEFAULT_BUDGETS,
     models: Sequence[Model] = tuple(Model),
+    engine: Engine | None = None,
 ) -> list[Figure9Cell]:
-    """Evaluate traffic density over the (latency x budget x model) grid."""
+    """Evaluate traffic density over the (latency x budget x model) grid.
+
+    The jobs are identical to Figure 8's, so with a shared engine this
+    figure is free once Figure 8 has run.
+    """
+    engine = engine or serial_engine()
     cells: list[Figure9Cell] = []
     for latency in latencies:
         machine = paper_config(latency)
-        ideal = run_model(loops, machine, Model.IDEAL, None)
+        ideal = engine.run_model(loops, machine, Model.IDEAL, None)
         for budget in budgets:
             for model in models:
                 run = (
                     ideal
                     if model is Model.IDEAL
-                    else run_model(loops, machine, model, budget)
+                    else engine.run_model(loops, machine, model, budget)
                 )
                 cells.append(
                     Figure9Cell(

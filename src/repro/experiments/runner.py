@@ -4,10 +4,17 @@ Usage::
 
     python -m repro.experiments.runner --loops 200                  # quick
     python -m repro.experiments.runner --loops 800 --spill-loops 200  # paper scale
+    python -m repro.experiments.runner --loops 800 --workers 8        # pooled
 
 ``--spill-loops`` bounds only the spill-pipeline experiments (Figures 8 and
 9), which dominate the runtime; the distribution experiments always use the
 full requested suite.
+
+All evaluation flows through one shared :class:`repro.engine.Engine`, so
+points repeated across drivers (Figure 7 re-measures Figure 6's grid,
+Figure 9 re-runs Figure 8's pipeline) are computed once, misses fan out
+over a multiprocess pool, and with the on-disk cache enabled a repeated run
+skips the evaluation work entirely.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.pool import Engine, serial_engine
 from repro.experiments import (
     cost,
     example_loop,
@@ -27,8 +36,13 @@ from repro.experiments import (
 from repro.workloads.suite import perfect_club_like
 
 
-def run_all(n_loops: int = 200, spill_loops: int | None = None) -> str:
+def run_all(
+    n_loops: int = 200,
+    spill_loops: int | None = None,
+    engine: Engine | None = None,
+) -> str:
     """Run every experiment; returns the concatenated report text."""
+    engine = engine or serial_engine()
     suite = perfect_club_like(n_loops)
     loops = list(suite)
     spill_subset = loops if spill_loops is None else list(
@@ -48,23 +62,31 @@ def run_all(n_loops: int = 200, spill_loops: int | None = None) -> str:
     )
     timed(
         "Table 1 -- PxLy allocatable loops",
-        lambda: table1.format_report(table1.run_table1(loops)),
+        lambda: table1.format_report(table1.run_table1(loops, engine=engine)),
     )
     timed(
         "Figure 6 -- static distributions",
-        lambda: figure6.format_report(figure6.run_figure6(loops)),
+        lambda: figure6.format_report(
+            figure6.run_figure6(loops, engine=engine)
+        ),
     )
     timed(
         "Figure 7 -- dynamic distributions",
-        lambda: figure7.format_report(figure7.run_figure7(loops)),
+        lambda: figure7.format_report(
+            figure7.run_figure7(loops, engine=engine)
+        ),
     )
     timed(
         "Figure 8 -- performance",
-        lambda: figure8.format_report(figure8.run_figure8(spill_subset)),
+        lambda: figure8.format_report(
+            figure8.run_figure8(spill_subset, engine=engine)
+        ),
     )
     timed(
         "Figure 9 -- traffic density",
-        lambda: figure9.format_report(figure9.run_figure9(spill_subset)),
+        lambda: figure9.format_report(
+            figure9.run_figure9(spill_subset, engine=engine)
+        ),
     )
     timed(
         "Cost model -- Section 3.2",
@@ -72,11 +94,16 @@ def run_all(n_loops: int = 200, spill_loops: int | None = None) -> str:
             [cost.run_cost_study(32), cost.run_cost_study(64)]
         ),
     )
+    if engine.cache is not None and engine.cache.stats.lookups:
+        sections.append(
+            f"=== Engine ===\n\n{engine.jobs_run} evaluation points; "
+            f"cache {engine.cache.stats.summary()}"
+        )
     return "\n\n\n".join(sections)
 
 
-def main() -> None:  # pragma: no cover - CLI entry
-    parser = argparse.ArgumentParser(description=__doc__)
+def add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """The suite-size flags of the experiment runner."""
     parser.add_argument("--loops", type=int, default=200)
     parser.add_argument(
         "--spill-loops",
@@ -84,12 +111,56 @@ def main() -> None:  # pragma: no cover - CLI entry
         default=None,
         help="subset size for the spill-pipeline figures (default: all)",
     )
-    args = parser.parse_args()
-    print(run_all(args.loops, args.spill_loops))
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The engine flags shared by the ``run`` and ``sweep`` commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: one per core; 0 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+
+
+def engine_from_args(args: argparse.Namespace) -> Engine:
+    """Build the engine an experiment CLI asked for.
+
+    ``--no-cache`` only disables the *disk* tier; the in-memory cache
+    stays, because cross-driver job sharing (Figures 7 and 9 reusing
+    Figures 6's and 8's points) depends on it.
+    """
+    directory = None if args.no_cache else (
+        args.cache_dir or default_cache_dir()
+    )
+    return Engine(workers=args.workers, cache=ResultCache(directory=directory))
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_run_arguments(parser)
+    add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+    print(run_all(args.loops, args.spill_loops, engine=engine_from_args(args)))
 
 
 if __name__ == "__main__":  # pragma: no cover
     main()
 
 
-__all__ = ["run_all"]
+__all__ = [
+    "add_engine_arguments",
+    "add_run_arguments",
+    "engine_from_args",
+    "run_all",
+]

@@ -15,7 +15,7 @@ from typing import Sequence
 
 from repro.analysis.distributions import fraction_fitting
 from repro.analysis.reporting import format_table
-from repro.core.pressure import pressure_report
+from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig, pxly
 
@@ -46,17 +46,18 @@ def run_table1(
     loops: Sequence[Loop],
     configs: Sequence[MachineConfig] | None = None,
     thresholds: Sequence[int] = THRESHOLDS,
+    engine: Engine | None = None,
 ) -> list[Table1Row]:
     """Measure unified register requirements on every configuration."""
+    engine = engine or serial_engine()
     configs = list(configs) if configs is not None else default_configs()
     rows = []
     for machine in configs:
-        requirements: list[int] = []
-        weights: list[float] = []
-        for loop in loops:
-            report = pressure_report(loop, machine)
-            requirements.append(report.unified)
-            weights.append(float(loop.trip_count * report.ii))
+        reports = engine.pressure_reports(loops, machine)
+        requirements = [report.unified for report in reports]
+        weights = [
+            float(report.trip_count * report.ii) for report in reports
+        ]
         rows.append(
             Table1Row(
                 config=machine.name,

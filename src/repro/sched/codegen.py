@@ -112,8 +112,13 @@ def emit_replicated(schedule: Schedule) -> CodeListing:
 
     fill = (stages - 1) * ii  # cycles before the steady state
     kernel_end = fill + unroll * ii
-    last_cycle = (n_iterations - 1) * ii + max(
-        p.time for p in schedule.placements.values()
+    # The kernel region is periodic with period II, so it must span full II
+    # windows -- including trailing nop words when the II is bound by
+    # recurrences or resources rather than by the last issue slot.
+    last_cycle = max(
+        kernel_end - 1,
+        (n_iterations - 1) * ii
+        + max(p.time for p in schedule.placements.values()),
     )
 
     slots_by_cycle: dict[int, list[str]] = {}

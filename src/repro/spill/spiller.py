@@ -165,6 +165,14 @@ class LoopEvaluation:
         return self.schedule.ii
 
     @property
+    def trip_count(self) -> int:
+        return self.loop.trip_count
+
+    @property
+    def memory_bandwidth(self) -> int:
+        return self.machine.memory_bandwidth
+
+    @property
     def cycles(self) -> int:
         """Steady-state execution cycles: trip count times the final II."""
         return self.loop.trip_count * self.ii

@@ -8,6 +8,11 @@ unchanged.
 
 Aggregate density over a workload weights each loop by its execution time,
 like every dynamic number in the paper.
+
+The aggregates accept anything exposing ``trip_count``, ``cycles``,
+``memory_ops_per_iteration`` and ``memory_bandwidth`` -- both the full
+:class:`~repro.spill.spiller.LoopEvaluation` and the engine's summary
+records (:class:`repro.engine.jobs.EvalResult`).
 """
 
 from __future__ import annotations
@@ -42,15 +47,15 @@ def aggregate_density(evaluations: Sequence[LoopEvaluation]) -> float:
     accesses = 0
     capacity = 0
     for ev in evaluations:
-        accesses += ev.loop.trip_count * ev.memory_ops_per_iteration
-        capacity += ev.cycles * ev.machine.memory_bandwidth
+        accesses += ev.trip_count * ev.memory_ops_per_iteration
+        capacity += ev.cycles * ev.memory_bandwidth
     return accesses / capacity if capacity else 0.0
 
 
 def aggregate_traffic(evaluations: Iterable[LoopEvaluation]) -> int:
     """Total dynamic memory accesses over a workload."""
     return sum(
-        ev.loop.trip_count * ev.memory_ops_per_iteration for ev in evaluations
+        ev.trip_count * ev.memory_ops_per_iteration for ev in evaluations
     )
 
 

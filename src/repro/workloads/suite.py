@@ -22,10 +22,16 @@ DEFAULT_SEED = 20061995
 
 @dataclass(frozen=True)
 class Suite:
-    """A named workload."""
+    """A named workload.
+
+    ``seed`` records the synthetic-generation seed the suite was built
+    from (``None`` for hand-assembled suites), so sweep jobs can name
+    their workload reproducibly.
+    """
 
     name: str
     loops: tuple[Loop, ...]
+    seed: int | None = None
 
     def __len__(self) -> int:
         return len(self.loops)
@@ -45,7 +51,7 @@ class Suite:
         picked = tuple(
             self.loops[int(i * step)] for i in range(n)
         )
-        return Suite(name or f"{self.name}-sub{n}", picked)
+        return Suite(name or f"{self.name}-sub{n}", picked, seed=self.seed)
 
 
 def perfect_club_like(
@@ -57,14 +63,20 @@ def perfect_club_like(
     """The Perfect-Club substitute suite.
 
     ``n_loops`` is the total size; the ~30 hand-written kernels are included
-    first (when requested) and the remainder is synthetic.
+    first (when requested) and the remainder is synthetic, generated
+    deterministically from ``seed`` -- same seed, same loops, in any
+    process, which is what makes engine sweep jobs reproducible and
+    cacheable across runs.
     """
     loops: list[Loop] = []
     if include_kernels:
         loops.extend(all_kernels())
     remaining = max(0, n_loops - len(loops))
     loops.extend(generate_suite(remaining, seed=seed, config=config))
-    return Suite(f"perfect-club-like-{n_loops}", tuple(loops[:n_loops]))
+    name = f"perfect-club-like-{n_loops}"
+    if seed != DEFAULT_SEED:
+        name += f"-s{seed}"
+    return Suite(name, tuple(loops[:n_loops]), seed=seed)
 
 
 def quick_suite(n_loops: int = 80, seed: int = DEFAULT_SEED) -> Suite:

@@ -1,0 +1,171 @@
+"""Result-cache behavior: hits, misses, persistence, corruption, LRU."""
+
+import json
+
+import pytest
+
+from repro.core.models import Model
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import evaluate_job, execute_job, pressure_job
+from repro.machine.config import paper_config
+from repro.workloads.kernels import make_kernel
+
+
+@pytest.fixture()
+def machine():
+    return paper_config(6)
+
+
+@pytest.fixture()
+def job(machine):
+    return pressure_job(make_kernel("daxpy"), machine)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(directory=tmp_path / "cache")
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, cache, job):
+        assert cache.get(job) is None
+        assert cache.stats.misses == 1
+
+    def test_put_then_hit(self, cache, job):
+        result = execute_job(job)
+        cache.put(job, result)
+        assert cache.get(job) == result
+        assert cache.stats.hits == 1
+
+    def test_persists_across_instances(self, tmp_path, job):
+        first = ResultCache(directory=tmp_path / "c")
+        result = execute_job(job)
+        first.put(job, result)
+        second = ResultCache(directory=tmp_path / "c")
+        assert second.get(job) == result
+        assert second.stats.hits == 1
+
+    def test_distinct_jobs_distinct_entries(self, cache, machine):
+        loop = make_kernel("daxpy")
+        a = evaluate_job(loop, machine, Model.UNIFIED, 16)
+        b = evaluate_job(loop, machine, Model.UNIFIED, 32)
+        cache.put(a, execute_job(a))
+        assert cache.get(b) is None
+        assert cache.entry_count() == 1
+
+    def test_memory_only_cache(self, job):
+        cache = ResultCache(directory=None)
+        result = execute_job(job)
+        cache.put(job, result)
+        assert cache.get(job) == result
+        assert cache.entry_count() == 0
+
+
+class TestCorruption:
+    def _entry_path(self, cache, job):
+        paths = list(cache.directory.glob("*/*.json"))
+        assert len(paths) == 1
+        return paths[0]
+
+    def _fresh(self, cache):
+        """Same directory, empty memory tier -- forces a disk read."""
+        return ResultCache(directory=cache.directory)
+
+    def test_garbage_json_is_a_miss_and_removed(self, cache, job):
+        cache.put(job, execute_job(job))
+        path = self._entry_path(cache, job)
+        path.write_text("{ not json")
+        fresh = self._fresh(cache)
+        assert fresh.get(job) is None
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_key_mismatch_rejected(self, cache, job):
+        cache.put(job, execute_job(job))
+        path = self._entry_path(cache, job)
+        payload = json.loads(path.read_text())
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        fresh = self._fresh(cache)
+        assert fresh.get(job) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_schema_mismatch_rejected(self, cache, job):
+        cache.put(job, execute_job(job))
+        path = self._entry_path(cache, job)
+        payload = json.loads(path.read_text())
+        payload["schema"] = -1
+        path.write_text(json.dumps(payload))
+        fresh = self._fresh(cache)
+        assert fresh.get(job) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_truncated_result_rejected(self, cache, job):
+        cache.put(job, execute_job(job))
+        path = self._entry_path(cache, job)
+        payload = json.loads(path.read_text())
+        del payload["result"]["unified"]
+        path.write_text(json.dumps(payload))
+        fresh = self._fresh(cache)
+        assert fresh.get(job) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_corrupt_entry_recomputed_and_restored(self, cache, job):
+        result = execute_job(job)
+        cache.put(job, result)
+        path = self._entry_path(cache, job)
+        path.write_text("junk")
+        fresh = self._fresh(cache)
+        assert fresh.get(job) is None
+        fresh.put(job, result)
+        assert self._fresh(cache).get(job) == result
+
+
+class TestLruAndMaintenance:
+    def test_memory_tier_bounded(self, machine):
+        cache = ResultCache(directory=None, max_memory_entries=4)
+        jobs = [
+            evaluate_job(make_kernel("daxpy"), machine, Model.UNIFIED, budget)
+            for budget in (8, 12, 16, 20, 24, 28)
+        ]
+        for j in jobs:
+            cache.put(j, execute_job(j))
+        assert len(cache._memory) == 4
+        # Oldest entries were evicted; without a disk tier they miss.
+        assert cache.get(jobs[0]) is None
+        assert cache.get(jobs[-1]) is not None
+
+    def test_clear(self, cache, job):
+        cache.put(job, execute_job(job))
+        assert cache.entry_count() == 1
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+        assert cache.get(job) is None
+
+    def test_describe_mentions_directory(self, cache, job):
+        cache.put(job, execute_job(job))
+        text = cache.describe()
+        assert str(cache.directory) in text
+        assert "entries on disk : 1" in text
+
+    def test_prune_removes_orphaned_sources_keeps_current(self, cache, job):
+        cache.put(job, execute_job(job))
+        current = list(cache.directory.glob("*/*.json"))[0]
+        stale = current.parent / ("f" * 64 + ".json")
+        payload = json.loads(current.read_text())
+        payload["source"] = "0" * 64  # entry keyed by an edited codebase
+        payload["key"] = "f" * 64
+        stale.write_text(json.dumps(payload))
+        assert cache.prune() == 1
+        assert not stale.exists()
+        assert current.exists()
+        assert cache.get(job) is not None
+
+    def test_prune_removes_old_schema_entries(self, cache, job):
+        cache.put(job, execute_job(job))
+        shard = list(cache.directory.glob("*/*.json"))[0].parent
+        orphan = shard / ("e" * 64 + ".json")
+        orphan.write_text('{"schema": -3, "key": "' + "e" * 64 + '"}')
+        assert cache.prune() == 1
+        assert not orphan.exists()
+        assert cache.get(job) is not None  # current entry untouched

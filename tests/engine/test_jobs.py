@@ -1,0 +1,174 @@
+"""Job construction, content fingerprints, and cross-process hash stability."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.models import Model
+from repro.engine.jobs import (
+    EvalJob,
+    evaluate_job,
+    execute_job,
+    graph_fingerprint,
+    loop_fingerprint,
+    machine_fingerprint,
+    pressure_job,
+)
+from repro.ir.loop import Loop
+from repro.machine.config import paper_config, pxly
+from repro.workloads.kernels import example_loop, make_kernel
+from repro.workloads.suite import quick_suite
+
+
+class TestFingerprints:
+    def test_rebuilt_loop_same_fingerprint(self):
+        assert loop_fingerprint(example_loop()) == loop_fingerprint(
+            example_loop()
+        )
+
+    def test_names_do_not_matter(self):
+        loop = example_loop()
+        renamed = Loop(
+            name="something-else",
+            graph=loop.graph.copy(name="other"),
+            trip_count=loop.trip_count,
+        )
+        assert loop_fingerprint(loop) == loop_fingerprint(renamed)
+
+    def test_trip_count_matters(self):
+        assert loop_fingerprint(example_loop(trip_count=10)) != loop_fingerprint(
+            example_loop(trip_count=20)
+        )
+
+    def test_different_kernels_differ(self):
+        assert loop_fingerprint(make_kernel("daxpy")) != loop_fingerprint(
+            make_kernel("dot_product")
+        )
+
+    def test_machine_fingerprint_structure_sensitive(self):
+        assert machine_fingerprint(paper_config(3)) != machine_fingerprint(
+            paper_config(6)
+        )
+        assert machine_fingerprint(paper_config(3)) != machine_fingerprint(
+            pxly(2, 3)
+        )
+
+    def test_machine_fingerprint_name_insensitive(self):
+        a = paper_config(3)
+        b = paper_config(3)
+        assert a.name == b.name
+        assert machine_fingerprint(a) == machine_fingerprint(b)
+
+    def test_suite_seed_changes_fingerprints(self):
+        from repro.workloads.suite import perfect_club_like
+
+        a = perfect_club_like(8, seed=1, include_kernels=False).loops
+        b = perfect_club_like(8, seed=2, include_kernels=False).loops
+        assert [loop_fingerprint(l) for l in a] != [
+            loop_fingerprint(l) for l in b
+        ]
+
+
+class TestJobKeys:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            EvalJob(kind="bogus", loop=example_loop(), machine=paper_config(3))
+
+    def test_model_validated(self):
+        with pytest.raises(ValueError):
+            EvalJob(
+                kind="evaluate",
+                loop=example_loop(),
+                machine=paper_config(3),
+                model="no-such-model",
+            )
+
+    def test_pressure_key_ignores_evaluate_options(self):
+        loop, machine = example_loop(), paper_config(3)
+        a = EvalJob(kind="pressure", loop=loop, machine=machine)
+        b = EvalJob(
+            kind="pressure", loop=loop, machine=machine, victim_policy="first"
+        )
+        assert a.key == b.key
+
+    def test_evaluate_key_covers_options(self):
+        loop, machine = example_loop(), paper_config(3)
+        base = evaluate_job(loop, machine, Model.SWAPPED, 32)
+        assert base.key != evaluate_job(loop, machine, Model.SWAPPED, 64).key
+        assert base.key != evaluate_job(loop, machine, Model.UNIFIED, 32).key
+        assert (
+            base.key
+            != evaluate_job(
+                loop, machine, Model.SWAPPED, 32, victim_policy="first"
+            ).key
+        )
+
+    def test_kind_separates_keys(self):
+        loop, machine = example_loop(), paper_config(3)
+        assert (
+            pressure_job(loop, machine).key
+            != evaluate_job(loop, machine, Model.UNIFIED, None).key
+        )
+
+
+STABILITY_SCRIPT = """
+import sys
+from repro.core.models import Model
+from repro.engine.jobs import evaluate_job, pressure_job
+from repro.machine.config import paper_config
+from repro.workloads.suite import quick_suite
+
+loops = list(quick_suite(12, seed=7))
+machine = paper_config(6)
+for loop in loops:
+    print(pressure_job(loop, machine).key)
+    print(evaluate_job(loop, machine, Model.SWAPPED, 32).key)
+"""
+
+
+class TestCrossProcessStability:
+    def test_keys_stable_in_fresh_interpreter(self):
+        """Keys must match across interpreters (hash randomization etc.)."""
+        expected = []
+        machine = paper_config(6)
+        for loop in quick_suite(12, seed=7):
+            expected.append(pressure_job(loop, machine).key)
+            expected.append(
+                evaluate_job(loop, machine, Model.SWAPPED, 32).key
+            )
+        result = subprocess.run(
+            [sys.executable, "-c", STABILITY_SCRIPT],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.split() == expected
+
+
+class TestExecuteJob:
+    def test_pressure_matches_direct_report(self, paper_l6):
+        from repro.core.pressure import pressure_report
+
+        loop = make_kernel("daxpy")
+        result = execute_job(pressure_job(loop, paper_l6))
+        direct = pressure_report(loop, paper_l6)
+        assert result.unified == direct.unified
+        assert result.partitioned == direct.partitioned
+        assert result.swapped == direct.swapped
+        assert result.ii == direct.ii
+        assert result.trip_count == loop.trip_count
+
+    def test_evaluate_matches_direct_evaluation(self, paper_l6):
+        from repro.spill.spiller import evaluate_loop
+
+        loop = make_kernel("hydro_fragment")
+        result = execute_job(evaluate_job(loop, paper_l6, Model.UNIFIED, 16))
+        direct = evaluate_loop(loop, paper_l6, Model.UNIFIED, 16)
+        assert result.ii == direct.ii
+        assert result.cycles == direct.cycles
+        assert result.spilled_values == direct.spilled_values
+        assert result.fits == direct.fits
+        assert result.memory_ops_per_iteration == direct.memory_ops_per_iteration
+        assert result.traffic_density == pytest.approx(direct.traffic_density)

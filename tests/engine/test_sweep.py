@@ -1,0 +1,113 @@
+"""Sweep construction, execution, and aggregation."""
+
+import pytest
+
+from repro.core.models import Model
+from repro.engine.jobs import EVALUATE, PRESSURE
+from repro.engine.pool import Engine
+from repro.engine.sweep import (
+    NAMED_SWEEPS,
+    SweepSpec,
+    build_points,
+    format_outcome,
+    named_sweep,
+    run_sweep,
+)
+
+
+class TestBuildPoints:
+    def test_pressure_grid_size(self):
+        spec = SweepSpec(kind=PRESSURE, n_loops=6, latencies=(3, 6))
+        points = build_points(spec)
+        assert len(points) == 6 * 2  # loops x machines
+
+    def test_evaluate_grid_size(self):
+        spec = SweepSpec(
+            kind=EVALUATE,
+            n_loops=5,
+            latencies=(6,),
+            budgets=(32, 64),
+            models=(Model.UNIFIED, Model.SWAPPED),
+        )
+        points = build_points(spec)
+        # 5 ideal baselines + 5 loops x 2 budgets x 2 models
+        assert len(points) == 5 + 5 * 2 * 2
+
+    def test_ideal_baseline_always_present(self):
+        spec = SweepSpec(kind=EVALUATE, n_loops=4, latencies=(3,))
+        points = build_points(spec)
+        assert any(p.model == Model.IDEAL.value for p in points)
+
+    def test_multiple_seeds_multiply_points(self):
+        base = SweepSpec(kind=PRESSURE, n_loops=4, latencies=(3,))
+        double = SweepSpec(
+            kind=PRESSURE, n_loops=4, latencies=(3,), seeds=(1, 2)
+        )
+        assert len(build_points(double)) == 2 * len(build_points(base))
+
+    def test_cluster_counts_produce_machines(self):
+        spec = SweepSpec(
+            kind=PRESSURE, n_loops=3, latencies=(3,), cluster_counts=(1, 2, 4)
+        )
+        machines = {p.machine for p in build_points(spec)}
+        assert len(machines) == 3
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(kind="bogus")
+
+
+class TestNamedSweeps:
+    def test_registry_names(self):
+        assert {"pressure", "performance", "rf-size", "clusters"} <= set(
+            NAMED_SWEEPS
+        )
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="rf-size"):
+            named_sweep("nope")
+
+    def test_overrides_applied(self):
+        spec = named_sweep("performance", n_loops=7, seeds=(3,))
+        assert spec.n_loops == 7
+        assert spec.seeds == (3,)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        spec = SweepSpec(
+            kind=EVALUATE,
+            n_loops=6,
+            latencies=(6,),
+            budgets=(24,),
+            models=(Model.UNIFIED, Model.PARTITIONED),
+        )
+        return run_sweep(spec, engine=Engine(workers=2))
+
+    def test_every_point_resolved(self, outcome):
+        assert all(p.result is not None for p in outcome.points)
+
+    def test_throughput_positive(self, outcome):
+        assert outcome.points_per_second > 0
+
+    def test_report_renders(self, outcome):
+        text = format_outcome(outcome)
+        assert "paper-L6" in text
+        assert "points" in text
+
+    def test_aggregate_perf_bounded_by_ideal(self, outcome):
+        rows = [
+            line.split()
+            for line in format_outcome(outcome).splitlines()
+            if line.startswith("paper-L6")
+        ]
+        assert rows
+        for row in rows:
+            assert float(row[4]) <= 1.0 + 1e-9
+
+    def test_pressure_sweep_renders(self):
+        spec = SweepSpec(kind=PRESSURE, n_loops=5, latencies=(3,))
+        outcome = run_sweep(spec, engine=Engine(workers=0))
+        text = format_outcome(outcome)
+        assert "mean unified" in text

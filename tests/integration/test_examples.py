@@ -29,6 +29,7 @@ def test_examples_directory_complete():
         "simulate_kernel.py",
         "spill_pressure.py",
         "register_file_cost.py",
+        "sweep_models.py",
     } <= names
 
 
@@ -77,3 +78,10 @@ def test_register_file_cost():
     out = _run("register_file_cost.py")
     assert "non-consistent dual" in out
     assert "R=128" in out
+
+
+def test_sweep_models_small():
+    out = _run("sweep_models.py", "12")
+    assert "rf-size" in out
+    assert "clusters-vs-budget" in out
+    assert "served from cache" in out

@@ -28,6 +28,16 @@ class TestPerfectClubLike:
         suite = quick_suite(20)
         assert suite.total_trips > 0
 
+    def test_seed_recorded(self):
+        assert perfect_club_like(20, seed=42).seed == 42
+        assert perfect_club_like(20).seed is not None
+
+    def test_nondefault_seed_in_name(self):
+        assert "s42" in perfect_club_like(20, seed=42).name
+
+    def test_subset_preserves_seed(self):
+        assert perfect_club_like(20, seed=42).subset(5).seed == 42
+
 
 class TestSubset:
     def test_subset_size(self):
