@@ -1,0 +1,178 @@
+"""Pass-pipeline speedup: monolithic spill loop vs memoized pipeline.
+
+``_monolithic_evaluate`` reproduces the pre-pipeline ``evaluate_loop``
+verbatim: every model reschedules round 0 from scratch, and lifetimes are
+recomputed inside every allocator call and every victim selection.  The
+pipeline path runs the same Figure 8/9 workload through
+:func:`repro.pipeline.run_evaluation` with one shared
+:class:`~repro.pipeline.ArtifactStore`, which
+
+* schedules each (graph, machine, min II) once for all four models,
+* computes lifetimes once per schedule instead of once per allocator call,
+* shares the Ideal/Unified allocation and the per-model requirement
+  sub-products.
+
+Both paths must produce identical numbers (asserted below); the benchmark
+exists to show the pipeline is measurably faster, never slower.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.models import Model, required_registers
+from repro.machine.config import paper_config
+from repro.pipeline import ArtifactStore, run_evaluation
+from repro.pipeline.policies import spillable_values
+from repro.regalloc.lifetimes import lifetimes
+from repro.sched.mii import minimum_ii
+from repro.sched.modulo import modulo_schedule
+from repro.spill.spiller import spill_value
+
+N_LOOPS = 32
+LATENCY = 6
+BUDGETS = (32, 64)
+MODELS = (Model.IDEAL, Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
+
+
+def _monolithic_evaluate(loop, machine, model, register_budget):
+    """The pre-pipeline spill loop, with its exact recomputation pattern."""
+    graph = loop.graph
+    mii = minimum_ii(graph, machine).mii
+    budget = None if model is Model.IDEAL else register_budget
+    min_ii = 1
+    spilled = 0
+    ii_increases = 0
+    fits = True
+    stale = 0
+    best: int | None = None
+
+    for _ in range(200):
+        schedule = modulo_schedule(graph, machine, min_ii=min_ii)
+        requirement = required_registers(schedule, model)
+        if budget is None or requirement.registers <= budget:
+            break
+        lts = lifetimes(schedule)  # recomputed per round, as the old code did
+        candidates = spillable_values(schedule.graph)
+        victim = (
+            max(candidates, key=lambda i: (lts[i].length, -i))
+            if candidates
+            else None
+        )
+        if victim is None:
+            if best is None or requirement.registers < best:
+                best = requirement.registers
+                stale = 0
+            else:
+                stale += 1
+                if stale >= 8:
+                    fits = False
+                    break
+            min_ii = schedule.ii + 1
+            ii_increases += 1
+            continue
+        graph = spill_value(graph, victim)
+        spilled += 1
+    else:
+        fits = budget is None or requirement.registers <= budget
+
+    return (
+        schedule.ii,
+        mii,
+        spilled,
+        ii_increases,
+        fits,
+        requirement.registers,
+    )
+
+
+def _grid(loops):
+    machine = paper_config(LATENCY)
+    for loop in loops:
+        yield loop, machine, Model.IDEAL, None
+        for budget in BUDGETS:
+            for model in MODELS:
+                if model is Model.IDEAL:
+                    continue
+                yield loop, machine, model, budget
+
+
+def _run_monolithic(loops):
+    return [
+        _monolithic_evaluate(loop, machine, model, budget)
+        for loop, machine, model, budget in _grid(loops)
+    ]
+
+
+def _run_pipeline(loops, store):
+    results = []
+    for loop, machine, model, budget in _grid(loops):
+        ev = run_evaluation(loop, machine, model, budget, store=store)
+        results.append(
+            (
+                ev.ii,
+                ev.mii,
+                ev.spilled_values,
+                ev.ii_increases,
+                ev.fits,
+                ev.requirement.registers,
+            )
+        )
+    return results
+
+
+def _report(benchmark, n_points):
+    seconds = benchmark.stats["mean"] if benchmark.stats else 0.0
+    rate = n_points / seconds if seconds else 0.0
+    benchmark.extra_info["points_per_sec"] = round(rate, 1)
+    return seconds
+
+
+def test_spill_monolithic(benchmark, spill_suite):
+    loops = spill_suite[:N_LOOPS]
+    results = benchmark.pedantic(
+        _run_monolithic, args=(loops,), rounds=1, iterations=1
+    )
+    assert all(r[4] or r[5] > 0 for r in results)
+    _report(benchmark, len(results))
+
+
+def test_spill_pipeline_fresh(benchmark, spill_suite):
+    """Cold store: the memoized pipeline on the same grid."""
+    loops = spill_suite[:N_LOOPS]
+    stores = iter([ArtifactStore(max_entries=4096) for _ in range(8)])
+    results = benchmark.pedantic(
+        lambda: _run_pipeline(loops, next(stores)), rounds=1, iterations=1
+    )
+    assert results == _run_monolithic(loops), (
+        "pipeline diverged from the monolithic reference"
+    )
+    _report(benchmark, len(results))
+
+
+def test_spill_pipeline_warm(benchmark, spill_suite):
+    """Warm store: a repeated sweep touches no scheduler at all."""
+    loops = spill_suite[:N_LOOPS]
+    store = ArtifactStore(max_entries=4096)
+    _run_pipeline(loops, store)  # prime
+    results = benchmark.pedantic(
+        lambda: _run_pipeline(loops, store), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["store", "entries", "hits", "misses"],
+            [
+                (
+                    "warm",
+                    len(store),
+                    store.stats.hits,
+                    store.stats.misses,
+                )
+            ],
+            title=(
+                f"pipeline artifact store after 2x "
+                f"{len(results)}-point Figure 8/9 grid"
+            ),
+        )
+    )
+    _report(benchmark, len(results))

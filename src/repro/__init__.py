@@ -12,6 +12,9 @@ The package implements the paper's complete pipeline in pure Python:
 * :mod:`repro.core` -- the contribution: non-consistent dual register
   files (GL/LO/RO classification, dual allocation, greedy swapping, the
   Ideal/Unified/Partitioned/Swapped models);
+* :mod:`repro.pipeline` -- the pass pipeline: composable per-loop flows
+  over a memoizing :class:`~repro.pipeline.context.PassContext`, with
+  pluggable spill/escalation policies;
 * :mod:`repro.spill` -- the naive spiller and traffic metrics;
 * :mod:`repro.sim` -- a verifying cycle-level kernel simulator;
 * :mod:`repro.workloads` -- kernels and the calibrated Perfect-Club-like
@@ -42,6 +45,16 @@ from repro.machine.config import (
     paper_config,
     pxly,
 )
+from repro.pipeline import (
+    ArtifactStore,
+    PassContext,
+    Pipeline,
+    SPILL_POLICIES,
+    evaluation_pipeline,
+    pressure_pipeline,
+    run_evaluation,
+    run_pressure,
+)
 from repro.sched.compact import compact_schedule
 from repro.sched.modulo import modulo_schedule, schedule_loop
 from repro.spill.spiller import LoopEvaluation, evaluate_loop
@@ -49,28 +62,36 @@ from repro.spill.spiller import LoopEvaluation, evaluate_loop
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "Engine",
     "Loop",
     "LoopBuilder",
     "LoopEvaluation",
     "MachineConfig",
     "Model",
+    "PassContext",
+    "Pipeline",
     "PressureReport",
     "Requirement",
     "ResultCache",
+    "SPILL_POLICIES",
     "SweepSpec",
     "clustered_config",
     "compact_schedule",
     "default_cache_dir",
     "evaluate_loop",
+    "evaluation_pipeline",
     "example_config",
     "format_outcome",
     "modulo_schedule",
     "named_sweep",
     "paper_config",
+    "pressure_pipeline",
     "pressure_report",
     "pxly",
     "required_registers",
+    "run_evaluation",
+    "run_pressure",
     "run_sweep",
     "schedule_loop",
     "serial_engine",

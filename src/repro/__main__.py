@@ -29,8 +29,10 @@ from repro.experiments.runner import (
     add_engine_arguments,
     add_run_arguments,
     engine_from_args,
+    positive_int,
     run_all,
 )
+from repro.pipeline.policies import II_ESCALATIONS, SPILL_POLICIES
 
 
 
@@ -50,7 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="named sweep grid (default: performance)",
     )
     sweep_p.add_argument(
-        "--loops", type=int, default=None, help="suite size override"
+        "--loops", type=positive_int, default=None, help="suite size override"
     )
     sweep_p.add_argument(
         "--seed",
@@ -58,6 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         help="suite seed(s); repeat the flag to sweep several",
+    )
+    sweep_p.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        choices=sorted(SPILL_POLICIES),
+        help=(
+            "spill victim policy; repeat the flag to sweep several "
+            "(default: the sweep's own, usually 'longest')"
+        ),
+    )
+    sweep_p.add_argument(
+        "--escalation",
+        default=None,
+        choices=sorted(II_ESCALATIONS),
+        help="II escalation strategy when nothing is spillable",
     )
     add_engine_arguments(sweep_p)
 
@@ -82,7 +100,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         overrides["n_loops"] = args.loops
     if args.seed:
         overrides["seeds"] = tuple(args.seed)
+    if args.policy:
+        overrides["victim_policies"] = tuple(args.policy)
+    if args.escalation:
+        overrides["ii_escalation"] = args.escalation
     spec = named_sweep(args.name, **overrides)
+    if spec.kind == "pressure" and (args.policy or args.escalation):
+        # Pressure sweeps never spill; silently ignoring the flags would
+        # make a "policy comparison" of identical numbers look meaningful.
+        print(
+            f"repro sweep: error: --policy/--escalation have no effect on "
+            f"the pressure-kind sweep {spec.name!r} (it never spills)",
+            file=sys.stderr,
+        )
+        return 2
     outcome = run_sweep(
         spec, engine=engine_from_args(args), echo_progress=True
     )

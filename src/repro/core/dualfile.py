@@ -104,6 +104,7 @@ class DualAllocation:
 def allocate_dual(
     schedule: Schedule,
     assignment: ClusterAssignment | None = None,
+    lts: dict[int, Lifetime] | None = None,
 ) -> DualAllocation:
     """Allocate a schedule's values into the non-consistent clustered file.
 
@@ -111,11 +112,14 @@ def allocate_dual(
         assignment: Cluster of each operation; defaults to the scheduler's
             unit binding (the *Partitioned* model).  The swapping pass calls
             this with its improved assignment.
+        lts: Precomputed ``lifetimes(schedule)``, for callers (the pass
+            pipeline) that already analyzed the schedule.
     """
     if assignment is None:
         assignment = scheduler_assignment(schedule)
     classes = classify_values(schedule, assignment)
-    lts = lifetimes(schedule)
+    if lts is None:
+        lts = lifetimes(schedule)
     n_clusters = schedule.machine.n_clusters
 
     occupied = {c: IntervalSet() for c in range(n_clusters)}

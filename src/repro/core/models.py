@@ -57,38 +57,84 @@ class Requirement:
         return None
 
 
+def unified_requirement(
+    schedule: Schedule,
+    model: Model = Model.UNIFIED,
+    lts=None,
+    unified: UnifiedAllocation | None = None,
+) -> Requirement:
+    """Requirement of the single-file models (Ideal reports it too)."""
+    if unified is None:
+        unified = allocate_unified(schedule, lts=lts)
+    return Requirement(
+        model=model, registers=unified.registers_required, unified=unified
+    )
+
+
+def partitioned_requirement(
+    schedule: Schedule, assignment=None, lts=None
+) -> Requirement:
+    """Requirement of the dual file under the scheduler's own assignment."""
+    if assignment is None:
+        assignment = scheduler_assignment(schedule)
+    dual = allocate_dual(schedule, assignment, lts=lts)
+    return Requirement(
+        model=Model.PARTITIONED, registers=dual.registers_required, dual=dual
+    )
+
+
+def swapped_requirement(
+    schedule: Schedule,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+    lts=None,
+) -> Requirement:
+    """Requirement of the dual file after the greedy swapping post-pass.
+
+    Swapping and moving preserve issue times, so a precomputed ``lts``
+    stays valid for the swapped schedule's allocation too.
+    """
+    swap = greedy_swap(schedule, estimator=swap_estimator, lts=lts)
+    dual = allocate_dual(swap.schedule, swap.assignment, lts=lts)
+    return Requirement(
+        model=Model.SWAPPED,
+        registers=dual.registers_required,
+        dual=dual,
+        swap=swap,
+    )
+
+
 def required_registers(
     schedule: Schedule,
     model: Model,
     swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+    lts=None,
+    assignment=None,
 ) -> Requirement:
     """Compute the register requirement of ``schedule`` under ``model``.
 
     The Ideal model reports the unified requirement (useful for statistics)
     but callers must not apply a budget to it.
+
+    ``lts`` (a precomputed ``lifetimes(schedule)``) and ``assignment`` (a
+    precomputed ``scheduler_assignment(schedule)``) let the pass pipeline
+    share analysis across models.  The pipeline's memoizing
+    ``ArtifactStore.requirement`` dispatches to the same per-model helpers
+    above, so the two paths cannot drift.
     """
     if model in (Model.IDEAL, Model.UNIFIED):
-        unified = allocate_unified(schedule)
-        return Requirement(
-            model=model,
-            registers=unified.registers_required,
-            unified=unified,
-        )
+        return unified_requirement(schedule, model, lts=lts)
     if model is Model.PARTITIONED:
-        dual = allocate_dual(schedule, scheduler_assignment(schedule))
-        return Requirement(
-            model=model, registers=dual.registers_required, dual=dual
-        )
+        return partitioned_requirement(schedule, assignment, lts=lts)
     if model is Model.SWAPPED:
-        swap = greedy_swap(schedule, estimator=swap_estimator)
-        dual = allocate_dual(swap.schedule, swap.assignment)
-        return Requirement(
-            model=model,
-            registers=dual.registers_required,
-            dual=dual,
-            swap=swap,
-        )
+        return swapped_requirement(schedule, swap_estimator, lts=lts)
     raise ValueError(f"unknown model {model!r}")  # pragma: no cover
 
 
-__all__ = ["Model", "Requirement", "required_registers"]
+__all__ = [
+    "Model",
+    "Requirement",
+    "partitioned_requirement",
+    "required_registers",
+    "swapped_requirement",
+    "unified_requirement",
+]

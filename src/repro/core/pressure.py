@@ -5,19 +5,20 @@ registers ("registers have been allocated trying to minimize the number of
 registers used, but with no restrictions in the number of registers
 available", Section 5.3).  :func:`pressure_report` produces exactly that
 triple (Unified / Partitioned / Swapped) for one loop on one machine.
+
+The measurement itself runs through the pass pipeline
+(:func:`repro.pipeline.pipelines.run_pressure`): this module only defines
+the report shape and keeps the historical entry point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.models import Model, required_registers
+from repro.core.models import Model
+from repro.core.swapping import SwapEstimator
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig
-from repro.regalloc.lifetimes import lifetimes
-from repro.regalloc.maxlive import max_live
-from repro.sched.mii import minimum_ii
-from repro.sched.modulo import modulo_schedule
 from repro.sched.schedule import Schedule
 
 
@@ -50,23 +51,17 @@ class PressureReport:
         return self.swapped
 
 
-def pressure_report(loop: Loop, machine: MachineConfig) -> PressureReport:
+def pressure_report(
+    loop: Loop,
+    machine: MachineConfig,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+) -> PressureReport:
     """Schedule ``loop`` once and measure all models' register needs."""
-    schedule = modulo_schedule(loop.graph, machine)
-    unified = required_registers(schedule, Model.UNIFIED)
-    partitioned = required_registers(schedule, Model.PARTITIONED)
-    swapped = required_registers(schedule, Model.SWAPPED)
-    lts = lifetimes(schedule)
-    return PressureReport(
-        loop=loop,
-        machine=machine,
-        schedule=schedule,
-        mii=minimum_ii(loop.graph, machine).mii,
-        unified=unified.registers,
-        partitioned=partitioned.registers,
-        swapped=swapped.registers,
-        max_live=max_live(lts.values(), schedule.ii),
-    )
+    # Imported here: the pipeline package imports this module for the
+    # report dataclass, so the dependency must stay one-way at import time.
+    from repro.pipeline.pipelines import run_pressure
+
+    return run_pressure(loop, machine, swap_estimator=swap_estimator)
 
 
 __all__ = ["PressureReport", "pressure_report"]

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.core.clustering import ClusterAssignment, scheduler_assignment
 from repro.core.dualfile import allocate_dual, dual_max_live
-from repro.regalloc.lifetimes import lifetimes
+from repro.regalloc.lifetimes import Lifetime, lifetimes
 from repro.sched.schedule import Schedule
 
 
@@ -117,12 +117,17 @@ def greedy_swap(
     estimator: SwapEstimator = SwapEstimator.MAXLIVE,
     max_steps: int = 1000,
     allow_moves: bool = False,
+    lts: dict[int, Lifetime] | None = None,
 ) -> SwapResult:
     """Run the paper's greedy swapping algorithm.
 
     Returns a :class:`SwapResult` whose ``assignment`` maps every operation
     to its final cluster and whose ``schedule`` has unit instances exchanged
     accordingly (so downstream consumers may keep using unit binding).
+
+    ``lts`` is an optional precomputed ``lifetimes(schedule)`` (the pass
+    pipeline memoizes it); swapping and moving never change issue times,
+    only unit instances, so the lifetimes stay valid throughout.
     """
     if assignment is None:
         assignment = scheduler_assignment(schedule)
@@ -132,7 +137,8 @@ def greedy_swap(
         for op in schedule.graph.operations
     }
     machine = schedule.machine
-    lts = lifetimes(schedule)
+    if lts is None:
+        lts = lifetimes(schedule)
 
     if estimator is SwapEstimator.MAXLIVE:
 

@@ -1,7 +1,7 @@
 """Declarative evaluation jobs with deterministic content hashing.
 
 An :class:`EvalJob` names one point of an experiment grid: one loop, one
-machine, one register-file model, and the scheduler/spill options that
+machine, one register-file model, and the pipeline/policy options that
 influence the numbers.  Jobs are *content-addressed*: two jobs whose loops
 have identical dependence graphs and trip counts, on structurally identical
 machines, with the same model and options, hash to the same key -- no matter
@@ -9,10 +9,12 @@ which driver built them or in which process.  That key is what the result
 cache (:mod:`repro.engine.cache`) and the worker pool
 (:mod:`repro.engine.pool`) operate on.
 
-Hashes are SHA-256 over a canonical JSON payload, so they are stable across
-processes and interpreter runs (unlike :func:`hash`, which is randomized).
-``ENGINE_SCHEMA_VERSION`` salts every key; bump it whenever a change to the
-pipeline can alter results, and stale cache entries die naturally.
+Content fingerprints come from :mod:`repro.pipeline.fingerprint` (the same
+hashes key the pipeline's artifact store).  ``ENGINE_SCHEMA_VERSION`` salts
+every key; bump it whenever a change to the pipeline can alter results, and
+stale cache entries die naturally.  Every pipeline knob that can change a
+number -- victim policy, pressure strategy, II escalation, swap estimator --
+rides in the key, so policy sweeps never collide in the cache.
 
 Results are summaries, not pipelines: a :class:`PressureResult` or
 :class:`EvalResult` carries exactly the numbers the figure/table drivers
@@ -22,39 +24,78 @@ aggregate, and round-trips through JSON for the on-disk cache.
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import asdict, dataclass
 from functools import cached_property, lru_cache
 from pathlib import Path
-from weakref import WeakKeyDictionary
 
 from repro.core.models import Model
-from repro.core.pressure import pressure_report
 from repro.core.swapping import SwapEstimator
-from repro.ir.ddg import DependenceGraph
-from repro.ir.operation import Immediate, InvariantRef, ValueRef
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig
-from repro.spill.spiller import evaluate_loop
+from repro.pipeline.fingerprint import (
+    digest as _digest,
+    graph_fingerprint,
+    loop_fingerprint,
+    machine_fingerprint,
+)
+from repro.pipeline.pipelines import (
+    PRESSURE_STRATEGIES,
+    run_evaluation,
+    run_pressure,
+)
+from repro.pipeline.policies import get_escalation, get_policy
 
 #: Bump when evaluation semantics change; invalidates every cached result.
-ENGINE_SCHEMA_VERSION = 1
+#: 2: evaluation runs through the pass pipeline; keys carry the policy knobs.
+ENGINE_SCHEMA_VERSION = 2
 
 PRESSURE = "pressure"
 EVALUATE = "evaluate"
 
 
 # ----------------------------------------------------------------------
-# Content fingerprints
+# Source fingerprint (cache self-invalidation on code edits)
 # ----------------------------------------------------------------------
-def _operand_token(operand) -> list:
-    if isinstance(operand, ValueRef):
-        return ["v", operand.producer, operand.distance]
-    if isinstance(operand, InvariantRef):
-        return ["i", operand.name]
-    if isinstance(operand, Immediate):
-        return ["c", operand.value]
-    raise TypeError(f"unknown operand {operand!r}")  # pragma: no cover
+def _source_files(root: Path) -> list[Path]:
+    """The ``repro`` sources that define evaluation semantics.
+
+    Hidden files/directories (editor locks and swap files such as
+    ``.#mod.py``, checkpoint directories) and ``__pycache__`` are excluded:
+    they appear and vanish while a sweep runs and carry no semantics.  The
+    listing is sorted by POSIX-style relative path, so the resulting digest
+    is independent of filesystem enumeration order.
+    """
+    files = []
+    for path in root.rglob("*.py"):
+        relative = path.relative_to(root).parts
+        if any(
+            part.startswith(".") or part == "__pycache__"
+            for part in relative
+        ):
+            continue
+        files.append(path)
+    return sorted(files, key=lambda p: p.relative_to(root).as_posix())
+
+
+def tree_fingerprint(root: Path) -> str:
+    """Order-independent-input hash of a source tree's ``*.py`` files.
+
+    Each file contributes its relative path and bytes as one atomic unit:
+    a file that vanishes mid-walk (concurrent edit) is skipped entirely
+    rather than leaving a half-written path-without-content record, so two
+    walks over identical trees always agree.
+    """
+    digest = hashlib.sha256()
+    for path in _source_files(root):
+        try:
+            content = path.read_bytes()
+        except OSError:  # vanished mid-walk: skip the whole record
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(content)
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 @lru_cache(maxsize=1)
@@ -65,92 +106,7 @@ def source_fingerprint() -> str:
     any module retires the whole cache automatically, with no reliance on
     someone remembering to bump ``ENGINE_SCHEMA_VERSION``.
     """
-    root = Path(__file__).resolve().parent.parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode())
-        try:
-            digest.update(path.read_bytes())
-        except OSError:  # pragma: no cover - vanished mid-walk
-            continue
-    return digest.hexdigest()
-
-
-#: Fingerprints memoized per object: drivers reuse the same Loop and
-#: MachineConfig instances across hundreds of jobs, and re-serializing the
-#: graph for each would dominate the warm-cache fast path.  Content is
-#: hashed at first sight -- don't mutate a graph after handing it to the
-#: engine.
-_graph_fingerprints: "WeakKeyDictionary[DependenceGraph, str]" = (
-    WeakKeyDictionary()
-)
-_machine_fingerprints: "WeakKeyDictionary[MachineConfig, str]" = (
-    WeakKeyDictionary()
-)
-
-
-def graph_fingerprint(graph: DependenceGraph) -> str:
-    """Content hash of a dependence graph.
-
-    Covers everything that influences scheduling and allocation -- operation
-    types, operand wiring, spill flags, explicit edges -- and deliberately
-    excludes display names, so structurally identical loops share cache
-    entries regardless of how they were labelled.
-    """
-    cached = _graph_fingerprints.get(graph)
-    if cached is not None:
-        return cached
-    payload = {
-        "ops": [
-            [
-                op.op_id,
-                op.optype.value,
-                [_operand_token(o) for o in op.operands],
-                op.symbol,
-                op.is_spill,
-            ]
-            for op in graph.operations
-        ],
-        "edges": [
-            [e.src, e.dst, e.kind.value, e.distance, e.min_delay]
-            for e in graph.extra_edges()
-        ],
-    }
-    result = _digest(payload)
-    _graph_fingerprints[graph] = result
-    return result
-
-
-def loop_fingerprint(loop: Loop) -> str:
-    """Content hash of a loop: its graph plus the trip-count weight."""
-    return _digest(
-        {"graph": graph_fingerprint(loop.graph), "trips": loop.trip_count}
-    )
-
-
-def machine_fingerprint(machine: MachineConfig) -> str:
-    """Content hash of a machine configuration (name excluded)."""
-    cached = _machine_fingerprints.get(machine)
-    if cached is not None:
-        return cached
-    payload = {
-        "pools": [[p.name, p.count] for p in machine.pools],
-        "pool_of": sorted(
-            [t.value, p] for t, p in machine.pool_of.items()
-        ),
-        "latency": sorted(
-            [t.value, l] for t, l in machine.latency.items()
-        ),
-        "clusters": machine.n_clusters,
-    }
-    result = _digest(payload)
-    _machine_fingerprints[machine] = result
-    return result
-
-
-def _digest(payload) -> str:
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return tree_fingerprint(Path(__file__).resolve().parent.parent)
 
 
 # ----------------------------------------------------------------------
@@ -164,7 +120,9 @@ class EvalJob:
     measurement of Figures 6/7 and Table 1; ``"evaluate"`` is the full
     schedule/allocate/spill pipeline of Figures 8/9.  The loop and machine
     ride along as objects (they are cheap to pickle) but the cache key is
-    computed from their *content*.
+    computed from their *content*.  Policy knobs are registry names,
+    validated eagerly -- a bad name fails at job construction, not in a
+    worker process mid-sweep.
     """
 
     kind: str
@@ -175,12 +133,21 @@ class EvalJob:
     swap_estimator: str = SwapEstimator.MAXLIVE.value
     victim_policy: str = "longest"
     pressure_strategy: str = "spill"
+    ii_escalation: str = "increment"
     max_rounds: int = 200
 
     def __post_init__(self) -> None:
         if self.kind not in (PRESSURE, EVALUATE):
             raise ValueError(f"unknown job kind {self.kind!r}")
-        Model(self.model)  # validate early, not in a worker process
+        # Validate every knob early, not in a worker process.
+        Model(self.model)
+        SwapEstimator(self.swap_estimator)
+        get_policy(self.victim_policy)
+        get_escalation(self.ii_escalation)
+        if self.pressure_strategy not in PRESSURE_STRATEGIES:
+            raise ValueError(
+                f"unknown pressure strategy {self.pressure_strategy!r}"
+            )
 
     @cached_property
     def key(self) -> str:
@@ -191,22 +158,32 @@ class EvalJob:
             "kind": self.kind,
             "loop": loop_fingerprint(self.loop),
             "machine": machine_fingerprint(self.machine),
+            "swap": self.swap_estimator,
         }
         if self.kind == EVALUATE:
             payload.update(
                 model=self.model,
                 budget=self.register_budget,
-                swap=self.swap_estimator,
                 victim=self.victim_policy,
                 strategy=self.pressure_strategy,
+                escalation=self.ii_escalation,
                 rounds=self.max_rounds,
             )
         return _digest(payload)
 
 
-def pressure_job(loop: Loop, machine: MachineConfig) -> EvalJob:
+def pressure_job(
+    loop: Loop,
+    machine: MachineConfig,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+) -> EvalJob:
     """A Figures-6/7/Table-1 measurement: all models, no budget."""
-    return EvalJob(kind=PRESSURE, loop=loop, machine=machine)
+    return EvalJob(
+        kind=PRESSURE,
+        loop=loop,
+        machine=machine,
+        swap_estimator=swap_estimator.value,
+    )
 
 
 def evaluate_job(
@@ -217,6 +194,7 @@ def evaluate_job(
     swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
     victim_policy: str = "longest",
     pressure_strategy: str = "spill",
+    ii_escalation: str = "increment",
     max_rounds: int = 200,
 ) -> EvalJob:
     """A Figures-8/9 point: one model under one register budget."""
@@ -229,6 +207,7 @@ def evaluate_job(
         swap_estimator=swap_estimator.value,
         victim_policy=victim_policy,
         pressure_strategy=pressure_strategy,
+        ii_escalation=ii_escalation,
         max_rounds=max_rounds,
     )
 
@@ -295,9 +274,13 @@ JobResult = PressureResult | EvalResult
 
 
 def execute_job(job: EvalJob) -> JobResult:
-    """Run one job in the current process and summarize the outcome."""
+    """Assemble the job's pipeline, run it, and summarize the outcome."""
     if job.kind == PRESSURE:
-        report = pressure_report(job.loop, job.machine)
+        report = run_pressure(
+            job.loop,
+            job.machine,
+            swap_estimator=SwapEstimator(job.swap_estimator),
+        )
         return PressureResult(
             loop_name=job.loop.name,
             trip_count=job.loop.trip_count,
@@ -308,7 +291,7 @@ def execute_job(job: EvalJob) -> JobResult:
             swapped=report.swapped,
             max_live=report.max_live,
         )
-    evaluation = evaluate_loop(
+    evaluation = run_evaluation(
         job.loop,
         job.machine,
         Model(job.model),
@@ -317,6 +300,7 @@ def execute_job(job: EvalJob) -> JobResult:
         max_rounds=job.max_rounds,
         victim_policy=job.victim_policy,
         pressure_strategy=job.pressure_strategy,
+        ii_escalation=job.ii_escalation,
     )
     return EvalResult(
         loop_name=job.loop.name,
@@ -368,4 +352,5 @@ __all__ = [
     "result_from_dict",
     "result_to_dict",
     "source_fingerprint",
+    "tree_fingerprint",
 ]

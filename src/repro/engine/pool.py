@@ -207,10 +207,18 @@ class Engine:
     # Driver-facing conveniences
     # ------------------------------------------------------------------
     def pressure_reports(
-        self, loops: Sequence[Loop], machine: MachineConfig
+        self,
+        loops: Sequence[Loop],
+        machine: MachineConfig,
+        swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
     ) -> list[PressureResult]:
         """Unlimited-register measurements for a workload (Figures 6/7)."""
-        return self.map([pressure_job(loop, machine) for loop in loops])
+        return self.map(
+            [
+                pressure_job(loop, machine, swap_estimator=swap_estimator)
+                for loop in loops
+            ]
+        )
 
     def run_model(
         self,
@@ -221,6 +229,7 @@ class Engine:
         swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
         victim_policy: str = "longest",
         pressure_strategy: str = "spill",
+        ii_escalation: str = "increment",
     ) -> ModelRun:
         """Engine-backed equivalent of :func:`repro.analysis.run_model`."""
         evaluations: list[EvalResult] = self.map(
@@ -233,6 +242,7 @@ class Engine:
                     swap_estimator=swap_estimator,
                     victim_policy=victim_policy,
                     pressure_strategy=pressure_strategy,
+                    ii_escalation=ii_escalation,
                 )
                 for loop in loops
             ]

@@ -34,6 +34,12 @@ from repro.engine.jobs import (
 )
 from repro.engine.pool import Engine, ProgressFn
 from repro.machine.config import MachineConfig, clustered_config, paper_config
+from repro.pipeline.pipelines import PRESSURE_STRATEGIES
+from repro.pipeline.policies import (
+    SPILL_POLICIES,
+    get_escalation,
+    get_policy,
+)
 from repro.workloads.suite import DEFAULT_SEED, perfect_club_like
 
 
@@ -50,8 +56,14 @@ class SweepSpec:
 
     The kind picks the measurement: ``"pressure"`` ignores ``models`` and
     ``budgets`` (every pressure job measures all three models with no
-    budget); ``"evaluate"`` runs the spill pipeline per (model, budget) and
-    always adds one Ideal baseline per machine so aggregates can normalize.
+    budget); ``"evaluate"`` runs the spill pipeline per (model, budget,
+    victim policy) and always adds one Ideal baseline per machine so
+    aggregates can normalize.
+
+    ``victim_policies``/``pressure_strategy``/``ii_escalation`` name the
+    pipeline's pluggable strategies (see :mod:`repro.pipeline.policies`);
+    they ride in every job fingerprint, so sweeping them never collides
+    with cached results of other configurations.
     """
 
     name: str = "custom"
@@ -66,6 +78,9 @@ class SweepSpec:
         Model.PARTITIONED,
         Model.SWAPPED,
     )
+    victim_policies: tuple[str, ...] = ("longest",)
+    pressure_strategy: str = "spill"
+    ii_escalation: str = "increment"
     include_kernels: bool = True
 
     def __post_init__(self) -> None:
@@ -73,6 +88,15 @@ class SweepSpec:
             raise ValueError(f"unknown sweep kind {self.kind!r}")
         if self.n_loops < 1:
             raise ValueError("n_loops must be positive")
+        if not self.victim_policies:
+            raise ValueError("victim_policies must not be empty")
+        for policy in self.victim_policies:
+            get_policy(policy)
+        get_escalation(self.ii_escalation)
+        if self.pressure_strategy not in PRESSURE_STRATEGIES:
+            raise ValueError(
+                f"unknown pressure strategy {self.pressure_strategy!r}"
+            )
 
     def machines(self) -> list[MachineConfig]:
         return [
@@ -92,6 +116,8 @@ class SweepSpec:
                 f" x {len(self.budgets)} budget(s) x [{models}]"
                 " + ideal baseline"
             )
+            if len(self.victim_policies) > 1:
+                grid += f" x policies [{','.join(self.victim_policies)}]"
         return f"sweep {self.name!r} ({self.kind}): {grid}"
 
 
@@ -106,6 +132,8 @@ class SweepPoint:
     clusters: int
     model: str | None = None
     budget: int | None = None
+    #: Victim policy of evaluate points (None for pressure/Ideal points).
+    policy: str | None = None
     result: JobResult | None = None
 
 
@@ -160,15 +188,27 @@ def build_points(spec: SweepSpec) -> list[SweepPoint]:
                     for model in spec.models:
                         if model is Model.IDEAL:
                             continue
-                        points.extend(
-                            SweepPoint(
-                                job=evaluate_job(loop, machine, model, budget),
-                                model=model.value,
-                                budget=budget,
-                                **coords,
+                        for policy in spec.victim_policies:
+                            points.extend(
+                                SweepPoint(
+                                    job=evaluate_job(
+                                        loop,
+                                        machine,
+                                        model,
+                                        budget,
+                                        victim_policy=policy,
+                                        pressure_strategy=(
+                                            spec.pressure_strategy
+                                        ),
+                                        ii_escalation=spec.ii_escalation,
+                                    ),
+                                    model=model.value,
+                                    budget=budget,
+                                    policy=policy,
+                                    **coords,
+                                )
+                                for loop in loops
                             )
-                            for loop in loops
-                        )
     return points
 
 
@@ -259,6 +299,9 @@ def _aggregate_pressure(outcome: SweepOutcome) -> list[tuple]:
 
 
 def _aggregate_evaluate(outcome: SweepOutcome) -> list[tuple]:
+    # The policy column appears only when the sweep actually varies it, so
+    # single-policy reports keep their historical shape.
+    with_policy = len(outcome.spec.victim_policies) > 1
     ideal_cycles: dict[tuple, int] = {}
     groups: dict[tuple, list[EvalResult]] = {}
     for point in outcome.points:
@@ -268,25 +311,33 @@ def _aggregate_evaluate(outcome: SweepOutcome) -> list[tuple]:
                 ideal_cycles.get(base, 0) + point.result.cycles
             )
         groups.setdefault(
-            base + (point.model, point.budget), []
+            base + (point.model, point.budget, point.policy), []
         ).append(point.result)
     rows = []
-    for (seed, machine, model, budget), results in sorted(
-        groups.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][3] or 0, kv[0][2])
+    for (seed, machine, model, budget, policy), results in sorted(
+        groups.items(),
+        key=lambda kv: (
+            kv[0][0],
+            kv[0][1],
+            kv[0][3] or 0,
+            kv[0][2],
+            kv[0][4] or "",
+        ),
     ):
         cycles = sum(r.cycles for r in results)
         ideal = ideal_cycles.get((seed, machine), 0)
-        rows.append(
-            (
-                machine,
-                seed,
-                model,
-                budget if budget is not None else "inf",
-                f"{ideal / cycles:.3f}" if cycles and ideal else "1.000",
-                sum(r.spilled_values for r in results),
-                sum(1 for r in results if not r.fits),
-            )
-        )
+        row = [
+            machine,
+            seed,
+            model,
+            budget if budget is not None else "inf",
+            f"{ideal / cycles:.3f}" if cycles and ideal else "1.000",
+            sum(r.spilled_values for r in results),
+            sum(1 for r in results if not r.fits),
+        ]
+        if with_policy:
+            row.insert(4, policy if policy is not None else "-")
+        rows.append(tuple(row))
     return rows
 
 
@@ -312,6 +363,8 @@ def format_outcome(outcome: SweepOutcome) -> str:
             "spilled values",
             "not fitting",
         ]
+        if len(outcome.spec.victim_policies) > 1:
+            headers.insert(4, "policy")
     table = format_table(
         headers, aggregate_rows(outcome), title=outcome.spec.describe()
     )
@@ -351,6 +404,16 @@ NAMED_SWEEPS: dict[str, SweepSpec] = {
         kind=PRESSURE,
         latencies=(3, 6),
         cluster_counts=(1, 2, 4),
+    ),
+    # Spill-victim policy ablation through the pass pipeline: the paper's
+    # highest-lifetime heuristic against every registered alternative at
+    # the highest-pressure configuration (L6/R32).
+    "spill-policy": SweepSpec(
+        name="spill-policy",
+        kind=EVALUATE,
+        latencies=(6,),
+        budgets=(32,),
+        victim_policies=tuple(SPILL_POLICIES),
     ),
 }
 

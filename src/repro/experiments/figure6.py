@@ -20,6 +20,7 @@ from repro.analysis.distributions import (
 )
 from repro.analysis.reporting import bar, format_table
 from repro.core.pressure import PressureReport
+from repro.core.swapping import SwapEstimator
 from repro.engine.jobs import PressureResult
 from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
@@ -49,9 +50,12 @@ def collect_reports(
     loops: Sequence[Loop],
     machine: MachineConfig,
     engine: Engine | None = None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
 ) -> list[PressureResult]:
     """Measure every loop's register pressure through the engine."""
-    return (engine or serial_engine()).pressure_reports(loops, machine)
+    return (engine or serial_engine()).pressure_reports(
+        loops, machine, swap_estimator=swap_estimator
+    )
 
 
 def build_distributions(
@@ -85,13 +89,20 @@ def run_figure6(
     weighted: bool = False,
     grid: Sequence[int] = DEFAULT_GRID,
     engine: Engine | None = None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
 ) -> list[DistributionSet]:
-    """Compute the Figure 6 (or, with ``weighted=True``, Figure 7) data."""
+    """Compute the Figure 6 (or, with ``weighted=True``, Figure 7) data.
+
+    ``swap_estimator`` is the pipeline knob for the Swapped curve: the
+    paper's MaxLive lower bound, or exact first-fit for the ablation.
+    """
     engine = engine or serial_engine()
     sets = []
     for latency in latencies:
         machine = paper_config(latency)
-        reports = collect_reports(loops, machine, engine=engine)
+        reports = collect_reports(
+            loops, machine, engine=engine, swap_estimator=swap_estimator
+        )
         sets.append(
             build_distributions(reports, machine, latency, weighted, grid)
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.swapping import SwapEstimator
 from repro.engine.pool import Engine
 from repro.experiments.figure6 import (
     DistributionSet,
@@ -24,13 +25,20 @@ def run_figure7(
     loops: Sequence[Loop],
     latencies: Sequence[int] = (3, 6),
     engine: Engine | None = None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
 ) -> list[DistributionSet]:
     """Figure 6 weighted by execution time.
 
     With a shared (caching) engine the underlying pressure jobs are the
     same as Figure 6's, so this figure costs nothing beyond re-weighting.
     """
-    return run_figure6(loops, latencies=latencies, weighted=True, engine=engine)
+    return run_figure6(
+        loops,
+        latencies=latencies,
+        weighted=True,
+        engine=engine,
+        swap_estimator=swap_estimator,
+    )
 
 
 def format_report(sets: Sequence[DistributionSet]) -> str:

@@ -48,8 +48,15 @@ def run_figure8(
     budgets: Sequence[int] = DEFAULT_BUDGETS,
     models: Sequence[Model] = tuple(Model),
     engine: Engine | None = None,
+    victim_policy: str = "longest",
+    pressure_strategy: str = "spill",
+    ii_escalation: str = "increment",
 ) -> list[Figure8Cell]:
-    """Evaluate the full (latency x budget x model) grid."""
+    """Evaluate the full (latency x budget x model) grid.
+
+    The trailing keywords are the spill pipeline's pluggable policies
+    (:mod:`repro.pipeline.policies`); the defaults reproduce the paper.
+    """
     engine = engine or serial_engine()
     cells: list[Figure8Cell] = []
     for latency in latencies:
@@ -60,7 +67,15 @@ def run_figure8(
                 if model is Model.IDEAL:
                     run = ideal
                 else:
-                    run = engine.run_model(loops, machine, model, budget)
+                    run = engine.run_model(
+                        loops,
+                        machine,
+                        model,
+                        budget,
+                        victim_policy=victim_policy,
+                        pressure_strategy=pressure_strategy,
+                        ii_escalation=ii_escalation,
+                    )
                 cells.append(
                     Figure8Cell(
                         latency=latency,

@@ -46,11 +46,14 @@ def run_figure9(
     budgets: Sequence[int] = DEFAULT_BUDGETS,
     models: Sequence[Model] = tuple(Model),
     engine: Engine | None = None,
+    victim_policy: str = "longest",
+    pressure_strategy: str = "spill",
+    ii_escalation: str = "increment",
 ) -> list[Figure9Cell]:
     """Evaluate traffic density over the (latency x budget x model) grid.
 
-    The jobs are identical to Figure 8's, so with a shared engine this
-    figure is free once Figure 8 has run.
+    The jobs are identical to Figure 8's (given the same policy knobs), so
+    with a shared engine this figure is free once Figure 8 has run.
     """
     engine = engine or serial_engine()
     cells: list[Figure9Cell] = []
@@ -62,7 +65,15 @@ def run_figure9(
                 run = (
                     ideal
                     if model is Model.IDEAL
-                    else engine.run_model(loops, machine, model, budget)
+                    else engine.run_model(
+                        loops,
+                        machine,
+                        model,
+                        budget,
+                        victim_policy=victim_policy,
+                        pressure_strategy=pressure_strategy,
+                        ii_escalation=ii_escalation,
+                    )
                 )
                 cells.append(
                     Figure9Cell(

@@ -102,12 +102,42 @@ def run_all(
     return "\n\n\n".join(sections)
 
 
+def positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (suite sizes, subsets).
+
+    Rejecting bad values at the parser keeps the failure a one-line usage
+    error instead of an empty report or a crash deep in a worker process.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def non_negative_int(text: str) -> int:
+    """Argparse type for counts where 0 is meaningful (``--workers 0``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer (got {value})"
+        )
+    return value
+
+
 def add_run_arguments(parser: argparse.ArgumentParser) -> None:
     """The suite-size flags of the experiment runner."""
-    parser.add_argument("--loops", type=int, default=200)
+    parser.add_argument("--loops", type=positive_int, default=200)
     parser.add_argument(
         "--spill-loops",
-        type=int,
+        type=positive_int,
         default=None,
         help="subset size for the spill-pipeline figures (default: all)",
     )
@@ -117,7 +147,7 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """The engine flags shared by the ``run`` and ``sweep`` commands."""
     parser.add_argument(
         "--workers",
-        type=int,
+        type=non_negative_int,
         default=None,
         help="worker processes (default: one per core; 0 = serial)",
     )
@@ -162,5 +192,7 @@ __all__ = [
     "add_engine_arguments",
     "add_run_arguments",
     "engine_from_args",
+    "non_negative_int",
+    "positive_int",
     "run_all",
 ]

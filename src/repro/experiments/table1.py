@@ -15,6 +15,7 @@ from typing import Sequence
 
 from repro.analysis.distributions import fraction_fitting
 from repro.analysis.reporting import format_table
+from repro.core.swapping import SwapEstimator
 from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig, pxly
@@ -47,13 +48,21 @@ def run_table1(
     configs: Sequence[MachineConfig] | None = None,
     thresholds: Sequence[int] = THRESHOLDS,
     engine: Engine | None = None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
 ) -> list[Table1Row]:
-    """Measure unified register requirements on every configuration."""
+    """Measure unified register requirements on every configuration.
+
+    ``swap_estimator`` rides into the pressure jobs so a shared engine can
+    reuse them with the Figure 6/7 drivers run under the same knob (the
+    table itself reads only the unified numbers).
+    """
     engine = engine or serial_engine()
     configs = list(configs) if configs is not None else default_configs()
     rows = []
     for machine in configs:
-        reports = engine.pressure_reports(loops, machine)
+        reports = engine.pressure_reports(
+            loops, machine, swap_estimator=swap_estimator
+        )
         requirements = [report.unified for report in reports]
         weights = [
             float(report.trip_count * report.ii) for report in reports

@@ -1,0 +1,310 @@
+"""Pass context and the content-addressed artifact store.
+
+One :class:`PassContext` carries a single loop through the paper's per-loop
+compilation flow -- modulo schedule, register allocation under a model,
+greedy swapping, spilling -- and every derived artifact (MII report,
+schedule, lifetimes, cluster assignment, per-model allocations) is obtained
+lazily through an :class:`ArtifactStore`.
+
+The store memoizes by *content*, not identity: a schedule is keyed by
+``(graph fingerprint, machine fingerprint, min II)`` and everything derived
+from it hangs off that key.  Since the scheduler and allocators are
+deterministic, two contexts that reach the same key get the *same object* --
+which is exactly the reuse the experiments need:
+
+* the four register-file models of Figures 8/9 share one round-0 schedule
+  per (loop, machine) instead of rescheduling per model;
+* the Ideal baseline and the Unified model share one allocation;
+* a pressure measurement (Figures 6/7) and a spill evaluation of the same
+  loop share schedule, lifetimes, and allocations outright;
+* lifetimes are computed once per schedule, not once per allocator call.
+
+A process-wide default store (:func:`default_store`) makes the sharing
+automatic across engine jobs executed in the same process; pass an explicit
+store for isolation (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.clustering import ClusterAssignment, scheduler_assignment
+from repro.core.models import (
+    Model,
+    Requirement,
+    partitioned_requirement,
+    swapped_requirement,
+    unified_requirement,
+)
+from repro.core.swapping import SwapEstimator, SwapResult
+from repro.ir.ddg import DependenceGraph
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.pipeline.fingerprint import graph_fingerprint, machine_fingerprint
+from repro.regalloc.allocation import allocate_unified
+from repro.regalloc.lifetimes import Lifetime, lifetimes
+from repro.sched.mii import MiiReport, minimum_ii
+from repro.sched.modulo import modulo_schedule
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class ArtifactStats:
+    """Hit/miss counters of one store, per artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    by_kind: dict[str, list[int]] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        counters = self.by_kind.setdefault(kind, [0, 0])
+        if hit:
+            self.hits += 1
+            counters[0] += 1
+        else:
+            self.misses += 1
+            counters[1] += 1
+
+    def summary(self) -> str:
+        return f"{self.hits} artifact hit(s), {self.misses} miss(es)"
+
+
+class ArtifactStore:
+    """Bounded LRU of schedule-derived artifacts, keyed by content.
+
+    The store never returns a stale artifact: keys include everything that
+    determines the value (graph and machine fingerprints, min II, model,
+    estimator), and all producers are deterministic pure functions -- so a
+    hit is bit-identical to a recomputation by construction.
+    """
+
+    def __init__(self, max_entries: int = 2048):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = ArtifactStats()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def memo(self, key: tuple, compute):
+        """Return the memoized value of ``key``, computing it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.record(key[0], hit=False)
+            value = compute()
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return value
+        self.stats.record(key[0], hit=True)
+        self._entries.move_to_end(key)
+        return value
+
+    # ------------------------------------------------------------------
+    # Artifact accessors (one per derived product)
+    # ------------------------------------------------------------------
+    def schedule_key(
+        self, graph: DependenceGraph, machine: MachineConfig, min_ii: int
+    ) -> tuple:
+        """The content coordinate every schedule-derived artifact hangs off."""
+        return (graph_fingerprint(graph), machine_fingerprint(machine), min_ii)
+
+    def mii(self, graph: DependenceGraph, machine: MachineConfig) -> MiiReport:
+        key = ("mii", graph_fingerprint(graph), machine_fingerprint(machine))
+        return self.memo(key, lambda: minimum_ii(graph, machine))
+
+    def schedule(
+        self, graph: DependenceGraph, machine: MachineConfig, min_ii: int = 1
+    ) -> Schedule:
+        key = ("schedule", *self.schedule_key(graph, machine, min_ii))
+        return self.memo(
+            key, lambda: modulo_schedule(graph, machine, min_ii=min_ii)
+        )
+
+    def lifetimes(self, schedule: Schedule, key: tuple) -> dict[int, Lifetime]:
+        return self.memo(("lifetimes", *key), lambda: lifetimes(schedule))
+
+    def assignment(self, schedule: Schedule, key: tuple) -> ClusterAssignment:
+        return self.memo(
+            ("assignment", *key), lambda: scheduler_assignment(schedule)
+        )
+
+    def requirement(
+        self,
+        schedule: Schedule,
+        key: tuple,
+        model: Model,
+        swap_estimator: SwapEstimator,
+    ) -> Requirement:
+        """Per-model register requirement of one schedule.
+
+        Dispatches to the same per-model helpers as
+        :func:`repro.core.models.required_registers` (so the two paths
+        cannot drift), adding memoization where sharing pays: the unified
+        allocation is memoized on its own because the Ideal and Unified
+        models wrap the identical allocation, and lifetimes and the
+        scheduler assignment are shared by every model.
+        """
+        lts = self.lifetimes(schedule, key)
+        if model in (Model.IDEAL, Model.UNIFIED):
+            unified = self.memo(
+                ("ualloc", *key), lambda: allocate_unified(schedule, lts=lts)
+            )
+            return unified_requirement(schedule, model, unified=unified)
+        if model is Model.PARTITIONED:
+            return self.memo(
+                ("req", *key, model.value),
+                lambda: partitioned_requirement(
+                    schedule, self.assignment(schedule, key), lts=lts
+                ),
+            )
+        if model is Model.SWAPPED:
+            return self.memo(
+                ("req", *key, model.value, swap_estimator.value),
+                lambda: swapped_requirement(
+                    schedule, swap_estimator, lts=lts
+                ),
+            )
+        raise ValueError(f"unknown model {model!r}")  # pragma: no cover
+
+
+#: Process-wide store: engine jobs executed in the same process (serial
+#: engine, or one pool worker's share of a batch) share artifacts freely.
+_DEFAULT_STORE = ArtifactStore()
+
+
+def default_store() -> ArtifactStore:
+    return _DEFAULT_STORE
+
+
+@dataclass
+class PassContext:
+    """Mutable state of one loop traversing a pass pipeline.
+
+    The immutable coordinates (loop, machine, model, budget, estimator) are
+    fixed at construction; passes advance the mutable compilation state --
+    the current (possibly spill-rewritten) graph, the scheduling floor
+    ``min_ii``, and the spill bookkeeping -- and read derived artifacts
+    through the lazy properties, which all route through the store.
+    """
+
+    loop: Loop
+    machine: MachineConfig
+    model: Model = Model.UNIFIED
+    register_budget: int | None = None
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE
+    store: ArtifactStore | None = None
+
+    # Mutable pipeline state.
+    graph: DependenceGraph | None = None
+    min_ii: int = 1
+    rounds: int = 0
+    spilled_values: int = 0
+    ii_increases: int = 0
+    fits: bool = True
+    halted: bool = False
+    #: Escalation plateau bookkeeping (see IncrementEscalation.give_up).
+    stale_escalations: int = 0
+    best_requirement: int | None = None
+    #: Schedule/requirement of the last *evaluated* round: the pair the
+    #: final report is assembled from, even when the round cap expires
+    #: after a graph rewrite whose schedule was never computed.
+    last_schedule: Schedule | None = None
+    last_requirement: Requirement | None = None
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = default_store()
+        if self.graph is None:
+            self.graph = self.loop.graph
+
+    # ------------------------------------------------------------------
+    # Derived artifacts (lazy, memoized by content in the store)
+    # ------------------------------------------------------------------
+    @property
+    def budget(self) -> int | None:
+        """Effective register budget; the Ideal model never spills."""
+        return None if self.model is Model.IDEAL else self.register_budget
+
+    @property
+    def ddg_fingerprint(self) -> str:
+        """Content hash of the *current* (possibly rewritten) graph."""
+        return graph_fingerprint(self.graph)
+
+    @property
+    def schedule_key(self) -> tuple:
+        return self.store.schedule_key(self.graph, self.machine, self.min_ii)
+
+    @property
+    def mii_report(self) -> MiiReport:
+        """MII of the loop as written (the pre-spill graph)."""
+        return self.store.mii(self.loop.graph, self.machine)
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.store.schedule(self.graph, self.machine, self.min_ii)
+
+    @property
+    def lifetimes(self) -> dict[int, Lifetime]:
+        return self.store.lifetimes(self.schedule, self.schedule_key)
+
+    @property
+    def assignment(self) -> ClusterAssignment:
+        return self.store.assignment(self.schedule, self.schedule_key)
+
+    def require(self, model: Model) -> Requirement:
+        """Register requirement of the current schedule under ``model``."""
+        return self.store.requirement(
+            self.schedule, self.schedule_key, model, self.swap_estimator
+        )
+
+    @property
+    def requirement(self) -> Requirement:
+        return self.require(self.model)
+
+    @property
+    def swap_result(self) -> SwapResult | None:
+        return self.require(Model.SWAPPED).swap
+
+    # ------------------------------------------------------------------
+    # State transitions (the only ways passes advance the flow)
+    # ------------------------------------------------------------------
+    def apply_spill(self, victim: int) -> None:
+        """Rewrite the graph with ``victim`` spilled to memory."""
+        # Imported lazily: the spill package and this one are peers that
+        # reference each other only at call time, never at import time.
+        from repro.spill.spiller import spill_value
+
+        self.graph = spill_value(self.graph, victim)
+        self.spilled_values += 1
+
+    def escalate(self, next_ii: int) -> None:
+        """Raise the scheduling floor and reschedule next round."""
+        if next_ii <= self.min_ii:
+            raise ValueError(
+                f"escalation must raise the II (min_ii={self.min_ii}, "
+                f"next={next_ii})"
+            )
+        self.min_ii = next_ii
+        self.ii_increases += 1
+
+    def halt(self, fits: bool | None = None) -> None:
+        """Stop the iterative flow (optionally recording the verdict)."""
+        if fits is not None:
+            self.fits = fits
+        self.halted = True
+
+
+__all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
+    "PassContext",
+    "default_store",
+]

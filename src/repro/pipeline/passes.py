@@ -1,0 +1,170 @@
+"""Concrete passes of the per-loop compilation flow.
+
+A pass is a named object with ``run(ctx)``: it reads and advances one
+:class:`~repro.pipeline.context.PassContext`.  Most passes just materialize
+one artifact (the context's lazy properties make that a one-liner); the two
+stateful ones are :class:`SpillRound`, one decision of the paper's
+Section 5.4 loop, and :class:`SpillLoop`, which iterates it under a round
+cap.  Composition lives in :mod:`repro.pipeline.pipelines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.models import Model
+from repro.pipeline.context import PassContext
+from repro.pipeline.policies import IIEscalation, SpillPolicy
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One step of a pipeline: reads/advances a :class:`PassContext`."""
+
+    name: str
+
+    def run(self, ctx: PassContext) -> None: ...
+
+
+class ComputeMII:
+    """Materialize the MII report of the loop as written."""
+
+    name = "compute-mii"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.mii_report
+
+
+class ModuloSchedule:
+    """Materialize the modulo schedule of the current graph at ``min_ii``."""
+
+    name = "modulo-schedule"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.schedule
+
+
+class ClusterAssign:
+    """Materialize the scheduler's unit-binding cluster assignment."""
+
+    name = "cluster-assign"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.assignment
+
+
+class AllocateUnified:
+    """Allocate into a single register file (Ideal/Unified models)."""
+
+    name = "allocate-unified"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require(Model.UNIFIED)
+
+
+class AllocateDual:
+    """Allocate into the clustered file under the scheduler's assignment."""
+
+    name = "allocate-dual"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require(Model.PARTITIONED)
+
+
+class GreedySwap:
+    """Run greedy swapping, then allocate under the improved assignment."""
+
+    name = "greedy-swap"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.require(Model.SWAPPED)
+
+
+@dataclass(frozen=True)
+class SpillRound:
+    """One round of the Section 5.4 loop: measure, then fit/spill/escalate.
+
+    Schedules the current graph, measures the requirement under the
+    context's model, and either declares the loop fitted (halt), spills the
+    policy's victim, or -- when nothing is spillable, or under the
+    ``increase_ii`` strategy -- escalates the II.  The escalation strategy
+    also owns the plateau rule that abandons issue-burst-bound loops whose
+    requirement stops shrinking.
+    """
+
+    policy: SpillPolicy
+    escalation: IIEscalation
+    strategy: str = "spill"
+    name = "spill-round"
+
+    def run(self, ctx: PassContext) -> None:
+        if ctx.halted:
+            return
+        ctx.rounds += 1
+        schedule = ctx.schedule
+        requirement = ctx.requirement
+        ctx.last_schedule = schedule
+        ctx.last_requirement = requirement
+        if ctx.budget is None or requirement.registers <= ctx.budget:
+            ctx.halt()
+            return
+        victim = (
+            self.policy.select(schedule, ctx.lifetimes)
+            if self.strategy == "spill"
+            else None
+        )
+        if victim is None:
+            if (
+                ctx.best_requirement is None
+                or requirement.registers < ctx.best_requirement
+            ):
+                ctx.best_requirement = requirement.registers
+                ctx.stale_escalations = 0
+            else:
+                ctx.stale_escalations += 1
+                if self.escalation.give_up(ctx.stale_escalations):
+                    ctx.halt(fits=False)
+                    return
+            ctx.escalate(self.escalation.next_ii(schedule.ii))
+            return
+        ctx.apply_spill(victim)
+
+
+@dataclass(frozen=True)
+class SpillLoop:
+    """Iterate :class:`SpillRound` until the loop fits or the cap expires.
+
+    When the cap expires mid-flight the verdict is taken against the last
+    *measured* requirement (the pre-refactor spiller's exact semantics):
+    loops that still do not fit are flagged ``fits=False`` rather than
+    silently dropped.
+    """
+
+    round: SpillRound
+    max_rounds: int = 200
+    name = "spill-loop"
+
+    def run(self, ctx: PassContext) -> None:
+        for _ in range(self.max_rounds):
+            if ctx.halted:
+                return
+            self.round.run(ctx)
+        if not ctx.halted:
+            ctx.halt(
+                fits=ctx.budget is None
+                or ctx.last_requirement.registers <= ctx.budget
+            )
+
+
+__all__ = [
+    "AllocateDual",
+    "AllocateUnified",
+    "ClusterAssign",
+    "ComputeMII",
+    "GreedySwap",
+    "ModuloSchedule",
+    "Pass",
+    "SpillLoop",
+    "SpillRound",
+]

@@ -1,0 +1,185 @@
+"""Pipeline composition and the two canonical per-loop flows.
+
+The paper's evaluation is one compilation flow per loop: modulo schedule,
+allocate under a register-file model, greedily swap, spill until the budget
+fits.  :func:`pressure_pipeline` and :func:`evaluation_pipeline` assemble
+that flow from the passes of :mod:`repro.pipeline.passes`;
+:func:`run_pressure` and :func:`run_evaluation` execute it and produce the
+exact report objects the pre-pipeline monolithic code produced
+(:class:`~repro.core.pressure.PressureReport`,
+:class:`~repro.spill.spiller.LoopEvaluation` -- pinned byte-identical by
+the golden-report tests).
+
+``repro.core.pressure``, ``repro.spill.spiller`` and the engine job kinds
+are thin wrappers over these two entry points; custom flows are one
+``Pipeline(...)`` away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models import Model
+from repro.core.pressure import PressureReport
+from repro.core.swapping import SwapEstimator
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.pipeline.context import ArtifactStore, PassContext
+from repro.pipeline.passes import (
+    AllocateDual,
+    AllocateUnified,
+    ClusterAssign,
+    ComputeMII,
+    GreedySwap,
+    ModuloSchedule,
+    Pass,
+    SpillLoop,
+    SpillRound,
+)
+from repro.pipeline.policies import get_escalation, get_policy
+from repro.regalloc.maxlive import max_live
+from repro.spill.spiller import LoopEvaluation
+
+#: The Section 5.4 alternatives: spill (the paper's choice) or only
+#: reschedule at increasing IIs ("this option would produce an extremely
+#: inefficient code"; the A3 ablation quantifies it).
+PRESSURE_STRATEGIES = ("spill", "increase_ii")
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """An ordered composition of passes over one :class:`PassContext`."""
+
+    name: str
+    passes: tuple[Pass, ...]
+
+    def run(self, ctx: PassContext) -> PassContext:
+        for p in self.passes:
+            p.run(ctx)
+        return ctx
+
+    def describe(self) -> str:
+        return f"{self.name}: " + " -> ".join(p.name for p in self.passes)
+
+
+def pressure_pipeline() -> Pipeline:
+    """The Figures 6/7 flow: one schedule, all models, no budget."""
+    return Pipeline(
+        name="pressure",
+        passes=(
+            ComputeMII(),
+            ModuloSchedule(),
+            ClusterAssign(),
+            AllocateUnified(),
+            AllocateDual(),
+            GreedySwap(),
+        ),
+    )
+
+
+def evaluation_pipeline(
+    victim_policy: str = "longest",
+    pressure_strategy: str = "spill",
+    ii_escalation: str = "increment",
+    max_rounds: int = 200,
+) -> Pipeline:
+    """The Figures 8/9 flow: schedule/allocate/spill until the budget fits.
+
+    All knobs are registry names so they can ride in engine job
+    fingerprints; unknown names raise ``ValueError`` eagerly, not from a
+    worker process mid-sweep.
+    """
+    if pressure_strategy not in PRESSURE_STRATEGIES:
+        raise ValueError(f"unknown pressure strategy {pressure_strategy!r}")
+    round_ = SpillRound(
+        policy=get_policy(victim_policy),
+        escalation=get_escalation(ii_escalation),
+        strategy=pressure_strategy,
+    )
+    return Pipeline(
+        name="evaluate",
+        passes=(ComputeMII(), SpillLoop(round=round_, max_rounds=max_rounds)),
+    )
+
+
+def run_pressure(
+    loop: Loop,
+    machine: MachineConfig,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+    store: ArtifactStore | None = None,
+) -> PressureReport:
+    """Schedule ``loop`` once and measure all models' register needs."""
+    ctx = PassContext(
+        loop=loop,
+        machine=machine,
+        swap_estimator=swap_estimator,
+        store=store,
+    )
+    pressure_pipeline().run(ctx)
+    return PressureReport(
+        loop=loop,
+        machine=machine,
+        schedule=ctx.schedule,
+        mii=ctx.mii_report.mii,
+        unified=ctx.require(Model.UNIFIED).registers,
+        partitioned=ctx.require(Model.PARTITIONED).registers,
+        swapped=ctx.require(Model.SWAPPED).registers,
+        max_live=max_live(ctx.lifetimes.values(), ctx.schedule.ii),
+    )
+
+
+def run_evaluation(
+    loop: Loop,
+    machine: MachineConfig,
+    model: Model,
+    register_budget: int | None = None,
+    swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
+    max_rounds: int = 200,
+    victim_policy: str = "longest",
+    pressure_strategy: str = "spill",
+    ii_escalation: str = "increment",
+    store: ArtifactStore | None = None,
+) -> LoopEvaluation:
+    """Run the full schedule/allocate/spill pipeline for one loop.
+
+    ``register_budget`` is the size of the register file: of the single
+    file for Unified, and of *each subfile* for Partitioned/Swapped.
+    ``None`` (or the Ideal model) disables spilling.
+    """
+    pipeline = evaluation_pipeline(
+        victim_policy=victim_policy,
+        pressure_strategy=pressure_strategy,
+        ii_escalation=ii_escalation,
+        max_rounds=max_rounds,
+    )
+    ctx = PassContext(
+        loop=loop,
+        machine=machine,
+        model=model,
+        register_budget=register_budget,
+        swap_estimator=swap_estimator,
+        store=store,
+    )
+    pipeline.run(ctx)
+    return LoopEvaluation(
+        loop=loop,
+        machine=machine,
+        model=model,
+        register_budget=register_budget,
+        schedule=ctx.last_schedule,
+        requirement=ctx.last_requirement,
+        mii=ctx.mii_report.mii,
+        spilled_values=ctx.spilled_values,
+        ii_increases=ctx.ii_increases,
+        fits=ctx.fits,
+    )
+
+
+__all__ = [
+    "PRESSURE_STRATEGIES",
+    "Pipeline",
+    "evaluation_pipeline",
+    "pressure_pipeline",
+    "run_evaluation",
+    "run_pressure",
+]

@@ -1,0 +1,296 @@
+"""Pluggable spill-victim selection and II-escalation strategies.
+
+The paper's Section 5.4 loop has two decision points the pipeline exposes as
+strategy objects:
+
+* :class:`SpillPolicy` -- *which* value to spill when the register
+  requirement exceeds the budget.  The paper's naive policy picks "the value
+  with the highest lifetime, which in general will free a higher number of
+  registers" and remarks that "more research is required to develop better
+  algorithms to spill registers"; the alternatives here are that research
+  hook.  All policies are deterministic (ties resolve by op id).
+* :class:`IIEscalation` -- *what II to try next* when nothing can be
+  spilled and the loop must be rescheduled ("reschedule the loop with an
+  increased II"), plus when to give up on escalation altogether.
+
+Policies are stateless singletons registered in :data:`SPILL_POLICIES` /
+:data:`II_ESCALATIONS`; the registries back the ``--policy`` /
+``--escalation`` knobs of ``python -m repro sweep`` and the engine job
+fingerprints, so every name is a stable part of the cache key space.
+
+To add a policy: subclass nothing -- implement ``name`` and ``select`` (see
+:class:`HighestLifetime` for the shape), then ``register_policy(MyPolicy())``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.ir.ddg import DependenceGraph
+from repro.ir.operation import OpType
+from repro.regalloc.lifetimes import Lifetime, lifetimes
+from repro.sched.schedule import Schedule
+
+
+def spillable_values(graph: DependenceGraph) -> list[int]:
+    """Values a spill policy may pick: non-spill values with consumers."""
+    result = []
+    for op in graph.values():
+        if op.is_spill:
+            continue
+        consumers = graph.consumers(op.op_id)
+        if not consumers:
+            continue
+        # Skip values already spilled (their only consumer is a spill store).
+        if all(c.is_spill and c.optype is OpType.STORE for c, _ in consumers):
+            continue
+        result.append(op.op_id)
+    return result
+
+
+def _register_cost(lt: Lifetime, ii: int) -> int:
+    """Registers a lifetime occupies: ``ceil(length / II)`` instances."""
+    return -(-lt.length // ii)
+
+
+@runtime_checkable
+class SpillPolicy(Protocol):
+    """Victim selection: pick the next value to spill, or ``None``."""
+
+    name: str
+
+    def select(
+        self, schedule: Schedule, lts: dict[int, Lifetime]
+    ) -> int | None:
+        """Op id of the value to spill under this policy, or ``None``."""
+
+
+class HighestLifetime:
+    """The paper's naive policy: highest lifetime (ties: lowest id)."""
+
+    name = "longest"
+
+    def select(self, schedule, lts):
+        candidates = spillable_values(schedule.graph)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda i: (lts[i].length, -i))
+
+
+class MostRegisters:
+    """Most simultaneously-live instances: what the lifetime actually
+    costs in registers, ``ceil(lifetime / II)``."""
+
+    name = "most_registers"
+
+    def select(self, schedule, lts):
+        candidates = spillable_values(schedule.graph)
+        if not candidates:
+            return None
+        ii = schedule.ii
+        return max(
+            candidates, key=lambda i: (_register_cost(lts[i], ii), -i)
+        )
+
+
+class FirstValue:
+    """Lowest op id: a deliberately bad baseline for the ablation."""
+
+    name = "first"
+
+    def select(self, schedule, lts):
+        candidates = spillable_values(schedule.graph)
+        if not candidates:
+            return None
+        return min(candidates)
+
+
+class MostConsumers:
+    """Widest fan-out: the value read at the most consumer endpoints.
+
+    Spilling it collapses one long, many-reader lifetime into a short
+    producer-to-store interval plus one tiny reload lifetime per consumer --
+    the biggest structural change per spill (ties: longest lifetime, then
+    lowest id).
+    """
+
+    name = "most_consumers"
+
+    def select(self, schedule, lts):
+        candidates = spillable_values(schedule.graph)
+        if not candidates:
+            return None
+        graph = schedule.graph
+        return max(
+            candidates,
+            key=lambda i: (len(graph.consumers(i)), lts[i].length, -i),
+        )
+
+
+class LeastTraffic:
+    """Cheapest memory bill: fewest added loads/stores per spilled value.
+
+    Spilling op ``v`` adds one store plus one load per distinct
+    ``(consumer, distance)`` pair; this policy minimizes that count (ties:
+    most registers freed, then lowest id), trading convergence speed for
+    bus bandwidth -- the quantity Figure 9 measures.
+    """
+
+    name = "least_traffic"
+
+    def select(self, schedule, lts):
+        candidates = spillable_values(schedule.graph)
+        if not candidates:
+            return None
+        graph = schedule.graph
+        ii = schedule.ii
+
+        def added_ops(i: int) -> int:
+            reloads = {(c.op_id, d) for c, d in graph.consumers(i)}
+            return 1 + len(reloads)
+
+        return min(
+            candidates,
+            key=lambda i: (added_ops(i), -_register_cost(lts[i], ii), i),
+        )
+
+
+#: Registry backing the CLI/sweep/engine ``policy`` knobs.  Insertion order
+#: is the canonical ablation order (the paper's policy first).
+SPILL_POLICIES: dict[str, SpillPolicy] = {
+    policy.name: policy
+    for policy in (
+        HighestLifetime(),
+        MostRegisters(),
+        FirstValue(),
+        MostConsumers(),
+        LeastTraffic(),
+    )
+}
+
+
+def register_policy(policy: SpillPolicy) -> SpillPolicy:
+    """Add a custom policy to the registry (name must be unused).
+
+    Registration is per-process: engine worker processes resolve policy
+    names against *their own* copy of the registry, and under the ``spawn``
+    start method (macOS/Windows default) they re-import this module with
+    only the built-ins.  Register custom policies at import time of a
+    module the workers also import, or evaluate with ``workers=0``.
+    """
+    if policy.name in SPILL_POLICIES:
+        raise ValueError(f"spill policy {policy.name!r} already registered")
+    SPILL_POLICIES[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str) -> SpillPolicy:
+    try:
+        return SPILL_POLICIES[name]
+    except KeyError:
+        known = ", ".join(SPILL_POLICIES)
+        raise ValueError(
+            f"unknown victim policy {name!r} (known: {known})"
+        ) from None
+
+
+def pick_victim(
+    schedule: Schedule,
+    policy: str = "longest",
+    lts: dict[int, Lifetime] | None = None,
+) -> int | None:
+    """Select the value to spill under the named policy (ties: lowest id)."""
+    selected = get_policy(policy)
+    if lts is None:
+        lts = lifetimes(schedule)
+    return selected.select(schedule, lts)
+
+
+# ----------------------------------------------------------------------
+# II escalation
+# ----------------------------------------------------------------------
+@runtime_checkable
+class IIEscalation(Protocol):
+    """Rescheduling strategy when spilling cannot reduce the requirement."""
+
+    name: str
+
+    def next_ii(self, current_ii: int) -> int:
+        """The II to reschedule at after a failed round at ``current_ii``."""
+
+    def give_up(self, stale_escalations: int) -> bool:
+        """Abandon the loop after this many non-improving escalations."""
+
+
+class IncrementEscalation:
+    """The paper's fallback: retry at ``II + 1``.
+
+    Plateau detection: when the requirement stops shrinking the pressure is
+    issue-burst-bound (the scheduler packs producers densely whatever the
+    II) and no amount of rescheduling helps -- give up honestly after
+    ``stale_limit`` non-improving escalations instead of spinning to the
+    round cap.
+    """
+
+    name = "increment"
+
+    def __init__(self, stale_limit: int = 8):
+        self.stale_limit = stale_limit
+
+    def next_ii(self, current_ii):
+        return current_ii + 1
+
+    def give_up(self, stale_escalations):
+        return stale_escalations >= self.stale_limit
+
+
+class GeometricEscalation:
+    """Escalate by 50% per round: fewer reschedules on hopeless loops,
+    coarser final II.  Same plateau rule as :class:`IncrementEscalation`,
+    with a shorter leash (each step forfeits more performance)."""
+
+    name = "geometric"
+
+    def __init__(self, stale_limit: int = 4):
+        self.stale_limit = stale_limit
+
+    def next_ii(self, current_ii):
+        return max(current_ii + 1, (current_ii * 3) // 2)
+
+    def give_up(self, stale_escalations):
+        return stale_escalations >= self.stale_limit
+
+
+II_ESCALATIONS: dict[str, IIEscalation] = {
+    esc.name: esc for esc in (IncrementEscalation(), GeometricEscalation())
+}
+
+
+def get_escalation(name: str) -> IIEscalation:
+    try:
+        return II_ESCALATIONS[name]
+    except KeyError:
+        known = ", ".join(II_ESCALATIONS)
+        raise ValueError(
+            f"unknown II escalation {name!r} (known: {known})"
+        ) from None
+
+
+__all__ = [
+    "FirstValue",
+    "GeometricEscalation",
+    "HighestLifetime",
+    "IIEscalation",
+    "II_ESCALATIONS",
+    "IncrementEscalation",
+    "LeastTraffic",
+    "MostConsumers",
+    "MostRegisters",
+    "SPILL_POLICIES",
+    "SpillPolicy",
+    "get_escalation",
+    "get_policy",
+    "pick_victim",
+    "register_policy",
+    "spillable_values",
+]

@@ -38,9 +38,17 @@ class UnifiedAllocation:
         return self.schedule.ii
 
 
-def allocate_unified(schedule: Schedule) -> UnifiedAllocation:
-    """Wands-only/first-fit allocation into a single register file."""
-    lts = lifetimes(schedule)
+def allocate_unified(
+    schedule: Schedule, lts: dict[int, Lifetime] | None = None
+) -> UnifiedAllocation:
+    """Wands-only/first-fit allocation into a single register file.
+
+    ``lts`` lets a caller that already analyzed the schedule (the pass
+    pipeline memoizes lifetimes per schedule) skip the recomputation; it
+    must be exactly ``lifetimes(schedule)``.
+    """
+    if lts is None:
+        lts = lifetimes(schedule)
     result = first_fit(lts.values(), schedule.ii)
     verify_disjoint(result.placements.values())
     return UnifiedAllocation(

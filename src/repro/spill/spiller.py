@@ -1,4 +1,4 @@
-"""The paper's "naive" spiller and the per-loop evaluation pipeline.
+"""The paper's "naive" spiller: graph rewriting plus the evaluation entry.
 
 Section 5.4 pseudo-code::
 
@@ -16,28 +16,62 @@ spilled value's register lifetime shrinks to producer-to-store, and each
 reload lives only from the load to its consumer).  Store and loads are
 connected by memory dependences carrying the original iteration distance.
 
-Termination fallback: the naive policy alone cannot always reach the budget
-(e.g. every value already spilled).  When no spillable candidate remains,
-we reschedule with ``II + 1`` -- the paper's first alternative in Section 5.4
-("reschedule the loop with an increased II") -- and record that the loop
-needed it.  A round cap guards against pathological cases; loops that still
-do not fit are flagged (``fits=False``) rather than silently dropped.
+This module owns that graph transform (:func:`spill_value`) and the
+:class:`LoopEvaluation` report.  The iterative flow itself -- measure,
+spill, escalate the II when nothing is spillable, give up on plateaus --
+lives in the pass pipeline (:func:`repro.pipeline.pipelines.run_evaluation`)
+with victim selection and escalation pluggable through
+:mod:`repro.pipeline.policies`; :func:`evaluate_loop` is the historical
+entry point over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.models import Model, Requirement, required_registers
+from repro.core.models import Model, Requirement
 from repro.core.swapping import SwapEstimator
 from repro.ir.ddg import DependenceGraph, EdgeKind
 from repro.ir.loop import Loop
 from repro.ir.operation import OpType, ValueRef
 from repro.machine.config import MachineConfig
-from repro.regalloc.lifetimes import lifetimes
-from repro.sched.mii import minimum_ii
-from repro.sched.modulo import modulo_schedule
+from repro.regalloc.lifetimes import Lifetime
 from repro.sched.schedule import Schedule
+
+
+def __getattr__(name: str):
+    # ``VICTIM_POLICIES`` reflects the pipeline's policy registry, but the
+    # pipeline package references this module at import time (for the graph
+    # transform and the report dataclass), so the reverse edge resolves
+    # lazily on first attribute access.
+    if name == "VICTIM_POLICIES":
+        from repro.pipeline.policies import SPILL_POLICIES
+
+        return tuple(SPILL_POLICIES)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def spillable_values(graph: DependenceGraph) -> list[int]:
+    """Values the spiller may pick: non-spill values with consumers."""
+    from repro.pipeline.policies import spillable_values as select
+
+    return select(graph)
+
+
+def pick_victim(
+    schedule: Schedule,
+    policy: str = "longest",
+    lts: dict[int, Lifetime] | None = None,
+) -> int | None:
+    """Select the value to spill under ``policy`` (ties: lowest id).
+
+    Policies live in :data:`repro.pipeline.policies.SPILL_POLICIES`; the
+    paper's is ``"longest"`` ("the value with the highest lifetime, which
+    in general will free a higher number of registers").
+    """
+    from repro.pipeline.policies import pick_victim as select
+
+    return select(schedule, policy=policy, lts=lts)
 
 
 class SpillError(RuntimeError):
@@ -99,52 +133,6 @@ def spill_value(graph: DependenceGraph, op_id: int) -> DependenceGraph:
     return new_graph
 
 
-def spillable_values(graph: DependenceGraph) -> list[int]:
-    """Values the naive spiller may pick: non-spill values with consumers."""
-    result = []
-    for op in graph.values():
-        if op.is_spill:
-            continue
-        consumers = graph.consumers(op.op_id)
-        if not consumers:
-            continue
-        # Skip values already spilled (their only consumer is a spill store).
-        if all(c.is_spill and c.optype is OpType.STORE for c, _ in consumers):
-            continue
-        result.append(op.op_id)
-    return result
-
-
-#: Victim-selection policies for the spiller.  ``longest`` is the paper's
-#: ("the value with the highest lifetime, which in general will free a
-#: higher number of registers"); the others exist for the ablation study.
-VICTIM_POLICIES = ("longest", "most_registers", "first")
-
-
-def pick_victim(schedule: Schedule, policy: str = "longest") -> int | None:
-    """Select the value to spill under ``policy`` (ties: lowest id).
-
-    * ``longest`` -- highest lifetime (the paper's naive policy);
-    * ``most_registers`` -- most simultaneously-live instances,
-      ``ceil(lifetime / II)``: what the lifetime actually costs in registers;
-    * ``first`` -- lowest op id (a deliberately bad baseline).
-    """
-    candidates = spillable_values(schedule.graph)
-    if not candidates:
-        return None
-    lts = lifetimes(schedule)
-    if policy == "longest":
-        return max(candidates, key=lambda i: (lts[i].length, -i))
-    if policy == "most_registers":
-        return max(
-            candidates,
-            key=lambda i: (-(-lts[i].length // schedule.ii), -i),
-        )
-    if policy == "first":
-        return min(candidates)
-    raise ValueError(f"unknown victim policy {policy!r}")
-
-
 @dataclass(frozen=True)
 class LoopEvaluation:
     """Final state of one loop under one model and register budget."""
@@ -203,6 +191,7 @@ def evaluate_loop(
     max_rounds: int = 200,
     victim_policy: str = "longest",
     pressure_strategy: str = "spill",
+    ii_escalation: str = "increment",
 ) -> LoopEvaluation:
     """Run the full schedule/allocate/spill pipeline for one loop.
 
@@ -213,68 +202,27 @@ def evaluate_loop(
     the consistent dual implementation).  ``None`` (or the Ideal model)
     disables spilling.
 
-    ``pressure_strategy`` selects among the Section 5.4 alternatives:
-    ``"spill"`` is the paper's choice (naive spiller, II fallback);
-    ``"increase_ii"`` is the paper's first alternative -- never spill, just
-    reschedule at II + 1 until the requirement fits ("this option would
-    produce an extremely inefficient code"; the A3 ablation quantifies it).
+    ``victim_policy`` names a :data:`~repro.pipeline.policies.SPILL_POLICIES`
+    entry; ``pressure_strategy`` selects among the Section 5.4 alternatives
+    (``"spill"`` is the paper's choice, ``"increase_ii"`` never spills and
+    only reschedules); ``ii_escalation`` names how the II grows when
+    rescheduling (:data:`~repro.pipeline.policies.II_ESCALATIONS`).
     """
-    if pressure_strategy not in ("spill", "increase_ii"):
-        raise ValueError(f"unknown pressure strategy {pressure_strategy!r}")
-    graph = loop.graph
-    mii = minimum_ii(graph, machine).mii
-    budget = None if model is Model.IDEAL else register_budget
-    min_ii = 1
-    spilled = 0
-    ii_increases = 0
-    fits = True
-    # Plateau detection: when only II increases remain and the requirement
-    # stops shrinking, the pressure is issue-burst-bound (the scheduler
-    # packs producers densely whatever the II) and no amount of rescheduling
-    # helps -- give up honestly instead of spinning to max_rounds.
-    stale_increases = 0
-    best_requirement: int | None = None
+    # Imported here: the pipeline package imports this module for the
+    # report dataclass and the graph transform, so the dependency must
+    # stay one-way at import time.
+    from repro.pipeline.pipelines import run_evaluation
 
-    for _ in range(max_rounds):
-        schedule = modulo_schedule(graph, machine, min_ii=min_ii)
-        requirement = required_registers(
-            schedule, model, swap_estimator=swap_estimator
-        )
-        if budget is None or requirement.registers <= budget:
-            break
-        victim = (
-            pick_victim(schedule, policy=victim_policy)
-            if pressure_strategy == "spill"
-            else None
-        )
-        if victim is None:
-            if best_requirement is None or requirement.registers < best_requirement:
-                best_requirement = requirement.registers
-                stale_increases = 0
-            else:
-                stale_increases += 1
-                if stale_increases >= 8:
-                    fits = False
-                    break
-            min_ii = schedule.ii + 1
-            ii_increases += 1
-            continue
-        graph = spill_value(graph, victim)
-        spilled += 1
-    else:
-        fits = budget is None or requirement.registers <= budget
-
-    return LoopEvaluation(
-        loop=loop,
-        machine=machine,
-        model=model,
+    return run_evaluation(
+        loop,
+        machine,
+        model,
         register_budget=register_budget,
-        schedule=schedule,
-        requirement=requirement,
-        mii=mii,
-        spilled_values=spilled,
-        ii_increases=ii_increases,
-        fits=fits,
+        swap_estimator=swap_estimator,
+        max_rounds=max_rounds,
+        victim_policy=victim_policy,
+        pressure_strategy=pressure_strategy,
+        ii_escalation=ii_escalation,
     )
 
 

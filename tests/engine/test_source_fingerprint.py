@@ -1,0 +1,82 @@
+"""The source fingerprint: deterministic, temp-file-proof cache salting."""
+
+from pathlib import Path
+
+from repro.engine.jobs import source_fingerprint, tree_fingerprint
+
+
+def _make_tree(root: Path) -> None:
+    (root / "pkg").mkdir()
+    (root / "pkg" / "a.py").write_text("A = 1\n")
+    (root / "pkg" / "b.py").write_text("B = 2\n")
+    (root / "top.py").write_text("TOP = 3\n")
+
+
+class TestTreeFingerprint:
+    def test_stable_across_walks(self, tmp_path):
+        _make_tree(tmp_path)
+        assert tree_fingerprint(tmp_path) == tree_fingerprint(tmp_path)
+
+    def test_invariant_to_enumeration_order(self, tmp_path, monkeypatch):
+        """The digest must not depend on the order rglob yields files."""
+        _make_tree(tmp_path)
+        forward = tree_fingerprint(tmp_path)
+
+        original = Path.rglob
+
+        def reversed_rglob(self, pattern):
+            return reversed(list(original(self, pattern)))
+
+        monkeypatch.setattr(Path, "rglob", reversed_rglob)
+        assert tree_fingerprint(tmp_path) == forward
+
+    def test_content_changes_digest(self, tmp_path):
+        _make_tree(tmp_path)
+        before = tree_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "a.py").write_text("A = 99\n")
+        assert tree_fingerprint(tmp_path) != before
+
+    def test_rename_changes_digest(self, tmp_path):
+        _make_tree(tmp_path)
+        before = tree_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "a.py").rename(tmp_path / "pkg" / "c.py")
+        assert tree_fingerprint(tmp_path) != before
+
+    def test_editor_temp_files_ignored(self, tmp_path):
+        """Editor locks, hidden checkpoints, and bytecode caches must not
+        churn the cache key while a sweep runs."""
+        _make_tree(tmp_path)
+        before = tree_fingerprint(tmp_path)
+        (tmp_path / "pkg" / ".#a.py").write_text("emacs lock\n")
+        (tmp_path / ".hidden.py").write_text("hidden\n")
+        checkpoints = tmp_path / ".ipynb_checkpoints"
+        checkpoints.mkdir()
+        (checkpoints / "a.py").write_text("checkpoint\n")
+        pycache = tmp_path / "pkg" / "__pycache__"
+        pycache.mkdir()
+        (pycache / "stale.py").write_text("cache\n")
+        assert tree_fingerprint(tmp_path) == before
+
+    def test_vanished_file_skipped_atomically(self, tmp_path, monkeypatch):
+        """A file disappearing mid-walk contributes neither path nor
+        content -- the digest equals a walk that never saw it."""
+        _make_tree(tmp_path)
+        without = tree_fingerprint(tmp_path)
+        ghost = tmp_path / "pkg" / "ghost.py"
+        ghost.write_text("G = 4\n")
+
+        original = Path.read_bytes
+
+        def flaky_read(self):
+            if self.name == "ghost.py":
+                raise OSError("vanished mid-walk")
+            return original(self)
+
+        monkeypatch.setattr(Path, "read_bytes", flaky_read)
+        assert tree_fingerprint(tmp_path) == without
+
+
+class TestSourceFingerprint:
+    def test_cached_and_stable(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 64

@@ -1,0 +1,58 @@
+"""CLI argument validation: bad counts die at the parser, with a reason."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.runner import non_negative_int, positive_int
+
+
+class TestArgparseTypes:
+    def test_positive_int_accepts(self):
+        assert positive_int("3") == 3
+
+    @pytest.mark.parametrize("text", ["0", "-1", "-200", "abc", "1.5"])
+    def test_positive_int_rejects(self, text):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            positive_int(text)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert non_negative_int("0") == 0
+
+    @pytest.mark.parametrize("text", ["-1", "abc"])
+    def test_non_negative_int_rejects(self, text):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            non_negative_int(text)
+
+
+class TestMainRejectsBadCounts:
+    """argparse exits with code 2 and a usage line instead of letting a
+    nonsensical count crash a worker or produce an empty report."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--loops", "0"],
+            ["run", "--loops", "-5"],
+            ["run", "--spill-loops", "0"],
+            ["run", "--workers", "-1"],
+            ["sweep", "--loops", "-3"],
+            ["sweep", "--workers", "-2"],
+            ["--loops", "0"],  # backward-compat implicit "run"
+        ],
+    )
+    def test_exits_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "integer" in err
+
+    def test_unknown_sweep_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--policy", "nope"])
+        assert excinfo.value.code == 2
+        assert "--policy" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Regenerate the golden report snapshot (``default_suite.json``).
+
+The snapshot pins the *numbers* of the per-loop compilation flow -- the
+pressure triple of Figures 6/7 and the full schedule/allocate/spill outcome
+of Figures 8/9 -- on the seeded default suite.  It was captured from the
+pre-pipeline monolithic implementation (PR 1) and must never change
+silently: the pass-pipeline refactor is required to produce byte-identical
+reports.  Regenerate only when the evaluation *semantics* deliberately
+change, and say so in the commit message::
+
+    PYTHONPATH=src python tests/golden/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.models import Model
+from repro.core.pressure import pressure_report
+from repro.machine.config import paper_config
+from repro.spill.spiller import evaluate_loop
+from repro.workloads.suite import perfect_club_like
+
+GOLDEN_PATH = Path(__file__).with_name("default_suite.json")
+
+#: Snapshot scope: small enough to recompute in a test, wide enough to cover
+#: every model, both paper latencies, and every spill policy/strategy.
+N_PRESSURE_LOOPS = 64
+N_SPILL_LOOPS = 16
+PRESSURE_LATENCIES = (3, 6)
+SPILL_LATENCY = 6
+SPILL_BUDGET = 32
+SPILL_MODELS = (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
+VICTIM_POLICIES = ("longest", "most_registers", "first")
+
+
+def pressure_rows() -> list[dict]:
+    suite = perfect_club_like(N_PRESSURE_LOOPS)
+    rows = []
+    for latency in PRESSURE_LATENCIES:
+        machine = paper_config(latency)
+        for loop in suite:
+            report = pressure_report(loop, machine)
+            rows.append(
+                {
+                    "loop": loop.name,
+                    "latency": latency,
+                    "ii": report.ii,
+                    "mii": report.mii,
+                    "unified": report.unified,
+                    "partitioned": report.partitioned,
+                    "swapped": report.swapped,
+                    "max_live": report.max_live,
+                }
+            )
+    return rows
+
+
+def evaluation_rows() -> list[dict]:
+    suite = perfect_club_like(N_PRESSURE_LOOPS)
+    loops = list(suite.subset(N_SPILL_LOOPS))
+    machine = paper_config(SPILL_LATENCY)
+    rows = []
+    for loop in loops:
+        for model in (Model.IDEAL, *SPILL_MODELS):
+            policies = ("longest",) if model is Model.IDEAL else VICTIM_POLICIES
+            for policy in policies:
+                ev = evaluate_loop(
+                    loop,
+                    machine,
+                    model,
+                    register_budget=SPILL_BUDGET,
+                    victim_policy=policy,
+                )
+                rows.append(
+                    {
+                        "loop": loop.name,
+                        "model": model.value,
+                        "policy": policy,
+                        "strategy": "spill",
+                        "ii": ev.ii,
+                        "mii": ev.mii,
+                        "spilled_values": ev.spilled_values,
+                        "ii_increases": ev.ii_increases,
+                        "fits": ev.fits,
+                        "registers": ev.requirement.registers,
+                        "memory_ops": ev.memory_ops_per_iteration,
+                        "spill_ops": ev.spill_ops_per_iteration,
+                    }
+                )
+        ev = evaluate_loop(
+            loop,
+            machine,
+            Model.UNIFIED,
+            register_budget=SPILL_BUDGET,
+            pressure_strategy="increase_ii",
+        )
+        rows.append(
+            {
+                "loop": loop.name,
+                "model": Model.UNIFIED.value,
+                "policy": "longest",
+                "strategy": "increase_ii",
+                "ii": ev.ii,
+                "mii": ev.mii,
+                "spilled_values": ev.spilled_values,
+                "ii_increases": ev.ii_increases,
+                "fits": ev.fits,
+                "registers": ev.requirement.registers,
+                "memory_ops": ev.memory_ops_per_iteration,
+                "spill_ops": ev.spill_ops_per_iteration,
+            }
+        )
+    return rows
+
+
+def build_snapshot() -> dict:
+    return {
+        "suite": {"n_loops": N_PRESSURE_LOOPS, "seed": None},
+        "pressure": pressure_rows(),
+        "evaluations": evaluation_rows(),
+    }
+
+
+def main() -> None:
+    snapshot = build_snapshot()
+    suite = perfect_club_like(N_PRESSURE_LOOPS)
+    snapshot["suite"]["seed"] = suite.seed
+    GOLDEN_PATH.write_text(json.dumps(snapshot, indent=1, sort_keys=True))
+    print(
+        f"wrote {GOLDEN_PATH}: {len(snapshot['pressure'])} pressure rows, "
+        f"{len(snapshot['evaluations'])} evaluation rows"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""ArtifactStore memoization and PassContext state transitions."""
+
+import pytest
+
+from repro.core.models import Model
+from repro.machine.config import paper_config
+from repro.pipeline.context import ArtifactStore, PassContext, default_store
+from repro.pipeline.fingerprint import graph_fingerprint
+from repro.workloads.kernels import example_loop
+from repro.workloads.synthetic import generate_loop
+
+
+@pytest.fixture()
+def store():
+    return ArtifactStore()
+
+
+@pytest.fixture()
+def ctx(paper_l3, store):
+    return PassContext(loop=example_loop(), machine=paper_l3, store=store)
+
+
+class TestArtifactStore:
+    def test_memo_computes_once(self, store):
+        calls = []
+        for _ in range(3):
+            value = store.memo(("k", 1), lambda: calls.append(1) or 42)
+        assert value == 42
+        assert calls == [1]
+        assert store.stats.hits == 2
+        assert store.stats.misses == 1
+
+    def test_lru_eviction_bounds_entries(self):
+        store = ArtifactStore(max_entries=2)
+        store.memo(("a",), lambda: 1)
+        store.memo(("b",), lambda: 2)
+        store.memo(("c",), lambda: 3)
+        assert len(store) == 2
+        # "a" was evicted: recomputing it is a miss.
+        store.memo(("a",), lambda: 1)
+        assert store.stats.by_kind["a"] == [0, 2]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_entries=0)
+
+    def test_schedule_shared_across_contexts(self, paper_l3, store):
+        a = PassContext(loop=example_loop(), machine=paper_l3, store=store)
+        b = PassContext(
+            loop=example_loop(),
+            machine=paper_l3,
+            model=Model.SWAPPED,
+            store=store,
+        )
+        # Same content -> the very same schedule object, although the loop
+        # objects differ: this is the cross-model round-0 reuse.
+        assert a.schedule is b.schedule
+        assert a.lifetimes is b.lifetimes
+        # Scheduled exactly once; every further access (including the ones
+        # the lifetimes lookups make) is a hit.
+        assert store.stats.by_kind["schedule"][1] == 1
+        assert store.stats.by_kind["schedule"][0] >= 1
+
+    def test_models_share_sub_artifacts(self, ctx, store):
+        ideal = ctx.require(Model.IDEAL)
+        unified = ctx.require(Model.UNIFIED)
+        assert ideal.unified is unified.unified  # one allocation, two models
+        partitioned = ctx.require(Model.PARTITIONED)
+        swapped = ctx.require(Model.SWAPPED)
+        assert partitioned.registers >= 1 and swapped.registers >= 1
+        # Lifetimes were computed exactly once for all four models.
+        assert store.stats.by_kind["lifetimes"][1] == 1
+
+    def test_default_store_is_process_wide(self):
+        assert default_store() is default_store()
+
+
+class TestPassContext:
+    def test_graph_defaults_to_loop_graph(self, ctx):
+        assert ctx.graph is ctx.loop.graph
+
+    def test_ideal_model_has_no_budget(self, paper_l3, store):
+        ctx = PassContext(
+            loop=example_loop(),
+            machine=paper_l3,
+            model=Model.IDEAL,
+            register_budget=32,
+            store=store,
+        )
+        assert ctx.budget is None
+
+    def test_apply_spill_rewrites_graph(self, ctx):
+        before = ctx.ddg_fingerprint
+        victim = max(
+            (op.op_id for op in ctx.graph.values()
+             if ctx.graph.consumers(op.op_id)),
+        )
+        ctx.apply_spill(victim)
+        assert ctx.ddg_fingerprint != before
+        assert ctx.spilled_values == 1
+        assert ctx.graph is not ctx.loop.graph
+
+    def test_escalate_must_raise_ii(self, ctx):
+        ctx.escalate(3)
+        assert ctx.min_ii == 3
+        assert ctx.ii_increases == 1
+        with pytest.raises(ValueError, match="raise the II"):
+            ctx.escalate(2)
+
+    def test_mii_report_uses_pre_spill_graph(self, ctx):
+        mii = ctx.mii_report.mii
+        victim = next(
+            op.op_id for op in ctx.graph.values()
+            if ctx.graph.consumers(op.op_id)
+        )
+        ctx.apply_spill(victim)
+        assert ctx.mii_report.mii == mii
+
+    def test_requirement_tracks_model(self, paper_l3, store):
+        ctx = PassContext(
+            loop=example_loop(),
+            machine=paper_l3,
+            model=Model.PARTITIONED,
+            store=store,
+        )
+        assert ctx.requirement.model is Model.PARTITIONED
+        assert ctx.swap_result is not None  # SWAPPED artifact on demand
+
+    def test_fingerprints_distinguish_loops(self, paper_l3, store):
+        a = PassContext(
+            loop=generate_loop(0), machine=paper_l3, store=store
+        )
+        b = PassContext(
+            loop=generate_loop(1), machine=paper_l3, store=store
+        )
+        assert a.ddg_fingerprint != b.ddg_fingerprint
+        assert graph_fingerprint(a.graph) == a.ddg_fingerprint

@@ -1,0 +1,164 @@
+"""Pipeline composition and equivalence with the historical entry points."""
+
+import pytest
+
+from repro.core.models import Model
+from repro.core.pressure import pressure_report
+from repro.pipeline.context import ArtifactStore, PassContext
+from repro.pipeline.passes import SpillLoop, SpillRound
+from repro.pipeline.pipelines import (
+    evaluation_pipeline,
+    pressure_pipeline,
+    run_evaluation,
+    run_pressure,
+)
+from repro.spill.spiller import evaluate_loop
+from repro.workloads.kernels import example_loop, make_kernel
+from repro.workloads.synthetic import generate_loop
+
+
+class TestComposition:
+    def test_pressure_pipeline_shape(self):
+        pipeline = pressure_pipeline()
+        assert [p.name for p in pipeline.passes] == [
+            "compute-mii",
+            "modulo-schedule",
+            "cluster-assign",
+            "allocate-unified",
+            "allocate-dual",
+            "greedy-swap",
+        ]
+        assert "compute-mii -> modulo-schedule" in pipeline.describe()
+
+    def test_evaluation_pipeline_shape(self):
+        pipeline = evaluation_pipeline(
+            victim_policy="most_consumers",
+            ii_escalation="geometric",
+            max_rounds=7,
+        )
+        loop_pass = pipeline.passes[-1]
+        assert isinstance(loop_pass, SpillLoop)
+        assert loop_pass.max_rounds == 7
+        assert loop_pass.round.policy.name == "most_consumers"
+        assert loop_pass.round.escalation.name == "geometric"
+
+    def test_unknown_knobs_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="pressure strategy"):
+            evaluation_pipeline(pressure_strategy="hope")
+        with pytest.raises(ValueError, match="victim policy"):
+            evaluation_pipeline(victim_policy="nope")
+        with pytest.raises(ValueError, match="escalation"):
+            evaluation_pipeline(ii_escalation="nope")
+
+    def test_custom_pipeline_runs_spill_round_directly(self, paper_l6):
+        from repro.pipeline.policies import get_escalation, get_policy
+
+        ctx = PassContext(
+            loop=make_kernel("state_equation"),
+            machine=paper_l6,
+            model=Model.UNIFIED,
+            register_budget=16,
+            store=ArtifactStore(),
+        )
+        round_ = SpillRound(
+            policy=get_policy("longest"),
+            escalation=get_escalation("increment"),
+        )
+        while not ctx.halted:
+            round_.run(ctx)
+        assert ctx.fits
+        assert ctx.last_requirement.registers <= 16
+
+
+class TestEquivalence:
+    """The wrappers and the pipeline are the same computation."""
+
+    def test_pressure_report_matches_run_pressure(self, paper_l6):
+        loop = generate_loop(7)
+        via_wrapper = pressure_report(loop, paper_l6)
+        via_pipeline = run_pressure(loop, paper_l6, store=ArtifactStore())
+        assert (
+            via_wrapper.unified,
+            via_wrapper.partitioned,
+            via_wrapper.swapped,
+            via_wrapper.mii,
+            via_wrapper.max_live,
+            via_wrapper.ii,
+        ) == (
+            via_pipeline.unified,
+            via_pipeline.partitioned,
+            via_pipeline.swapped,
+            via_pipeline.mii,
+            via_pipeline.max_live,
+            via_pipeline.ii,
+        )
+
+    def test_evaluate_loop_matches_run_evaluation(self, paper_l6):
+        loop = generate_loop(11)
+        for model in (Model.UNIFIED, Model.SWAPPED):
+            via_wrapper = evaluate_loop(
+                loop, paper_l6, model, register_budget=24
+            )
+            via_pipeline = run_evaluation(
+                loop,
+                paper_l6,
+                model,
+                register_budget=24,
+                store=ArtifactStore(),
+            )
+            assert (
+                via_wrapper.ii,
+                via_wrapper.spilled_values,
+                via_wrapper.ii_increases,
+                via_wrapper.fits,
+                via_wrapper.requirement.registers,
+            ) == (
+                via_pipeline.ii,
+                via_pipeline.spilled_values,
+                via_pipeline.ii_increases,
+                via_pipeline.fits,
+                via_pipeline.requirement.registers,
+            )
+
+    def test_fresh_and_warm_store_agree(self, paper_l6):
+        """A store hit must be bit-identical to a recomputation."""
+        store = ArtifactStore()
+        loop = generate_loop(3)
+        first = run_evaluation(
+            loop, paper_l6, Model.UNIFIED, register_budget=24, store=store
+        )
+        warm = run_evaluation(
+            loop, paper_l6, Model.UNIFIED, register_budget=24, store=store
+        )
+        assert first.schedule is warm.schedule  # shared artifact
+        assert first.requirement.registers == warm.requirement.registers
+        assert store.stats.hits > 0
+
+
+class TestMemoizationAcrossModels:
+    def test_round0_schedule_computed_once_for_all_models(self, paper_l6):
+        store = ArtifactStore()
+        loop = generate_loop(5)
+        for model in (
+            Model.IDEAL,
+            Model.UNIFIED,
+            Model.PARTITIONED,
+            Model.SWAPPED,
+        ):
+            run_evaluation(
+                loop, paper_l6, model, register_budget=64, store=store
+            )
+        hits, misses = store.stats.by_kind["schedule"]
+        # One schedule per distinct (graph, min_ii); the four models share
+        # round 0.  Spill rounds may add more misses, but the four round-0
+        # lookups collapse to one computation.
+        assert misses < 4 or hits >= 3
+
+    def test_pressure_and_evaluation_share_schedule(self, paper_l3):
+        store = ArtifactStore()
+        loop = example_loop()
+        report = run_pressure(loop, paper_l3, store=store)
+        evaluation = run_evaluation(
+            loop, paper_l3, Model.UNIFIED, register_budget=None, store=store
+        )
+        assert report.schedule is evaluation.schedule

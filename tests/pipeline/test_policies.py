@@ -1,0 +1,177 @@
+"""Spill-victim policies and II-escalation strategies."""
+
+import pytest
+
+from repro.core.models import Model
+from repro.machine.config import paper_config
+from repro.pipeline.policies import (
+    II_ESCALATIONS,
+    SPILL_POLICIES,
+    GeometricEscalation,
+    IncrementEscalation,
+    get_escalation,
+    get_policy,
+    pick_victim,
+    register_policy,
+    spillable_values,
+)
+from repro.regalloc.lifetimes import lifetimes
+from repro.sched.modulo import modulo_schedule
+from repro.spill.spiller import evaluate_loop
+from repro.workloads.kernels import example_loop, make_kernel
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return modulo_schedule(example_loop().graph, paper_config(3))
+
+
+@pytest.fixture(scope="module")
+def lts(schedule):
+    return lifetimes(schedule)
+
+
+class TestRegistry:
+    def test_contains_paper_policy_and_alternatives(self):
+        assert set(SPILL_POLICIES) >= {
+            "longest",
+            "most_registers",
+            "first",
+            "most_consumers",
+            "least_traffic",
+        }
+        assert next(iter(SPILL_POLICIES)) == "longest"
+
+    def test_names_match_keys(self):
+        for name, policy in SPILL_POLICIES.items():
+            assert policy.name == name
+        for name, escalation in II_ESCALATIONS.items():
+            assert escalation.name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="victim policy"):
+            get_policy("nope")
+
+    def test_unknown_escalation_rejected(self):
+        with pytest.raises(ValueError, match="escalation"):
+            get_escalation("nope")
+
+    def test_register_policy_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(SPILL_POLICIES["longest"])
+
+    def test_register_custom_policy_usable_end_to_end(self, paper_l6):
+        class SecondValue:
+            name = "second_value_test_only"
+
+            def select(self, schedule, lts):
+                candidates = sorted(spillable_values(schedule.graph))
+                if not candidates:
+                    return None
+                return candidates[min(1, len(candidates) - 1)]
+
+        register_policy(SecondValue())
+        try:
+            ev = evaluate_loop(
+                make_kernel("state_equation"),
+                paper_l6,
+                Model.UNIFIED,
+                register_budget=16,
+                victim_policy="second_value_test_only",
+            )
+            assert ev.fits
+        finally:
+            del SPILL_POLICIES["second_value_test_only"]
+
+
+class TestSelection:
+    def test_every_policy_returns_a_spillable_value(self, schedule, lts):
+        candidates = set(spillable_values(schedule.graph))
+        for name, policy in SPILL_POLICIES.items():
+            victim = policy.select(schedule, lts)
+            assert victim in candidates, name
+
+    def test_longest_picks_highest_lifetime(self, schedule, lts):
+        victim = pick_victim(schedule, "longest")
+        best = max(lts[i].length for i in spillable_values(schedule.graph))
+        assert lts[victim].length == best
+
+    def test_first_picks_lowest_id(self, schedule):
+        assert pick_victim(schedule, "first") == min(
+            spillable_values(schedule.graph)
+        )
+
+    def test_most_consumers_maximizes_fanout(self, schedule, lts):
+        graph = schedule.graph
+        victim = pick_victim(schedule, "most_consumers")
+        best = max(
+            len(graph.consumers(i)) for i in spillable_values(graph)
+        )
+        assert len(graph.consumers(victim)) == best
+
+    def test_least_traffic_minimizes_added_ops(self, schedule):
+        graph = schedule.graph
+
+        def added(i):
+            return 1 + len({(c.op_id, d) for c, d in graph.consumers(i)})
+
+        victim = pick_victim(schedule, "least_traffic")
+        assert added(victim) == min(
+            added(i) for i in spillable_values(graph)
+        )
+
+    def test_policies_deterministic(self, schedule, lts):
+        for policy in SPILL_POLICIES.values():
+            assert policy.select(schedule, lts) == policy.select(
+                schedule, lts
+            )
+
+    def test_each_registered_policy_reaches_budget(self, paper_l6):
+        """Every policy must drive the spill pipeline to convergence."""
+        loop = make_kernel("state_equation")
+        for name in SPILL_POLICIES:
+            ev = evaluate_loop(
+                loop,
+                paper_l6,
+                Model.UNIFIED,
+                register_budget=16,
+                victim_policy=name,
+            )
+            assert ev.fits, name
+            assert ev.requirement.registers <= 16, name
+
+
+class TestEscalation:
+    def test_increment_steps_by_one(self):
+        esc = IncrementEscalation()
+        assert esc.next_ii(7) == 8
+        assert not esc.give_up(7)
+        assert esc.give_up(8)
+
+    def test_geometric_grows_faster(self):
+        esc = GeometricEscalation()
+        assert esc.next_ii(1) == 2  # never stalls at small IIs
+        assert esc.next_ii(10) == 15
+        assert esc.give_up(4)
+
+    def test_geometric_selectable_through_evaluate(self, paper_l6):
+        loop = make_kernel("state_equation")
+        paper = evaluate_loop(
+            loop,
+            paper_l6,
+            Model.UNIFIED,
+            register_budget=16,
+            pressure_strategy="increase_ii",
+        )
+        geometric = evaluate_loop(
+            loop,
+            paper_l6,
+            Model.UNIFIED,
+            register_budget=16,
+            pressure_strategy="increase_ii",
+            ii_escalation="geometric",
+        )
+        # Both converge without spilling; geometric takes no more rounds.
+        assert paper.spilled_values == geometric.spilled_values == 0
+        assert geometric.ii_increases <= paper.ii_increases
+        assert geometric.fits and paper.fits
