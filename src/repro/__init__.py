@@ -20,7 +20,11 @@ The package implements the paper's complete pipeline in pure Python:
 * :mod:`repro.workloads` -- kernels and the calibrated Perfect-Club-like
   synthetic suite;
 * :mod:`repro.analysis` / :mod:`repro.experiments` -- distributions,
-  performance aggregation, and one driver per table/figure.
+  performance aggregation, shared table/chart primitives, and one driver
+  per table/figure;
+* :mod:`repro.report` -- the reproduction artifact: paper-delta
+  validation (``python -m repro report --check``), Markdown/HTML
+  rendering, provenance.
 
 Quickstart::
 
@@ -55,6 +59,7 @@ from repro.pipeline import (
     run_evaluation,
     run_pressure,
 )
+from repro.report import ReportResult, generate_report
 from repro.sched.compact import compact_schedule
 from repro.sched.modulo import modulo_schedule, schedule_loop
 from repro.spill.spiller import LoopEvaluation, evaluate_loop
@@ -72,6 +77,7 @@ __all__ = [
     "PassContext",
     "Pipeline",
     "PressureReport",
+    "ReportResult",
     "Requirement",
     "ResultCache",
     "SPILL_POLICIES",
@@ -83,6 +89,7 @@ __all__ = [
     "evaluation_pipeline",
     "example_config",
     "format_outcome",
+    "generate_report",
     "modulo_schedule",
     "named_sweep",
     "paper_config",

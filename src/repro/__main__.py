@@ -1,10 +1,12 @@
-"""``python -m repro`` -- experiments, sweeps, and cache management.
+"""``python -m repro`` -- experiments, sweeps, reports, cache management.
 
 Subcommands::
 
     python -m repro run --loops 200 --workers 8   # the full paper suite
     python -m repro sweep --name rf-size --loops 64
     python -m repro sweep --loops 8 --workers 2   # default grid, smoke scale
+    python -m repro report --loops 200 --format html --out report
+    python -m repro report --check   # exit non-zero unless paper reproduced
     python -m repro cache show
     python -m repro cache prune   # drop entries orphaned by code edits
     python -m repro cache clear
@@ -79,6 +81,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arguments(sweep_p)
 
+    report_p = sub.add_parser(
+        "report",
+        help="generate the self-contained reproduction artifact",
+    )
+    add_run_arguments(report_p)
+    report_p.add_argument(
+        "--format",
+        dest="fmt",
+        default="md",
+        choices=("md", "html"),
+        help="artifact format (default: md)",
+    )
+    report_p.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "output directory (default: ./report; with --check and no "
+            "--out, nothing is written)"
+        ),
+    )
+    report_p.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero when any gated paper expectation falls "
+            "outside its tolerance"
+        ),
+    )
+    add_engine_arguments(report_p)
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("show", "clear", "prune"))
     cache_p.add_argument(
@@ -121,6 +153,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report
+
+    out_dir = args.out
+    if out_dir is None:
+        out_dir = None if args.check else "report"
+    result = generate_report(
+        n_loops=args.loops,
+        spill_loops=args.spill_loops,
+        engine=engine_from_args(args),
+        fmt=args.fmt,
+        out_dir=out_dir,
+    )
+    print(result.summary())
+    if args.check and not result.ok:
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(directory=args.cache_dir or default_cache_dir())
     if args.action == "show":
@@ -135,7 +186,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 #: Single source of truth for dispatch and the backward-compat shim.
-HANDLERS = {"run": _cmd_run, "sweep": _cmd_sweep, "cache": _cmd_cache}
+HANDLERS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+    "cache": _cmd_cache,
+}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,4 +1,18 @@
-"""Distributions, performance aggregation, and report formatting."""
+"""Aggregation and presentation: how per-loop numbers become figures.
+
+Implements the paper's three aggregate views: cumulative distributions of
+register requirements (Figures 6/7, :mod:`~repro.analysis.distributions`),
+workload performance relative to the Ideal machine (Figure 8,
+:mod:`~repro.analysis.performance`), and the table/chart primitives every
+driver and the reproduction report render through
+(:mod:`~repro.analysis.reporting`).
+
+Key entry points: :func:`cumulative_distribution` and
+:func:`fraction_fitting` (static/dynamic curves), :func:`run_model` /
+:func:`relative_performance` (Figure 8 aggregation), and the
+:class:`Table` / :class:`BarChart` / :class:`LineChart` primitives with
+text, Markdown, HTML, ASCII-art, and SVG renderings.
+"""
 
 from repro.analysis.distributions import (
     DEFAULT_GRID,
@@ -14,13 +28,23 @@ from repro.analysis.performance import (
     run_model,
     total_cycles,
 )
-from repro.analysis.reporting import bar, format_table, percent
+from repro.analysis.reporting import (
+    BarChart,
+    LineChart,
+    Table,
+    bar,
+    format_table,
+    percent,
+)
 
 __all__ = [
     "DEFAULT_GRID",
+    "BarChart",
     "CumulativeDistribution",
     "CumulativePoint",
+    "LineChart",
     "ModelRun",
+    "Table",
     "bar",
     "cumulative_distribution",
     "format_table",

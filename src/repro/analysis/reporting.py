@@ -1,13 +1,118 @@
-"""Plain-text table formatting for experiment output.
+"""Table and chart primitives shared by the drivers and ``repro report``.
 
-All experiment drivers print their results as fixed-width ASCII tables so a
-terminal run of a benchmark shows exactly the rows/series the paper's table
-or figure reports.
+Every experiment driver renders its results as fixed-width ASCII tables, so
+a terminal run of a benchmark shows exactly the rows/series the paper's
+table or figure reports.  The same :class:`Table` objects also render to
+Markdown and HTML for the reproduction artifact (:mod:`repro.report`), and
+:class:`BarChart` / :class:`LineChart` render figure-style data as ASCII
+blocks or self-contained SVG -- no third-party plotting dependency.
+
+Chart SVG carries no inline colors: every mark is classed ``series-<slot>``
+and the embedding document's stylesheet maps slots to its palette, so the
+charts follow the page's light/dark scheme for free.
 """
 
 from __future__ import annotations
 
+import html as _html
+from dataclasses import dataclass
 from typing import Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table:
+    """A titled grid of cells that renders to text, Markdown, or HTML.
+
+    Cells are stored raw; floats format to two decimals everywhere, so a
+    driver can hand in numbers and get consistent output in all three
+    targets.  ``row_classes`` (optional, HTML only) attaches a CSS class
+    per row -- the delta table uses it to colour pass/fail rows.
+    """
+
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    title: str | None = None
+    row_classes: tuple[str, ...] | None = None
+
+    @staticmethod
+    def build(
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        title: str | None = None,
+        row_classes: Sequence[str] | None = None,
+    ) -> "Table":
+        return Table(
+            headers=tuple(headers),
+            rows=tuple(tuple(row) for row in rows),
+            title=title,
+            row_classes=tuple(row_classes) if row_classes else None,
+        )
+
+    def _cells(self) -> list[list[str]]:
+        return [[_fmt(c) for c in row] for row in self.rows]
+
+    def to_text(self) -> str:
+        """The fixed-width layout every CLI driver prints."""
+        cells = self._cells()
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            h.ljust(w) for h, w in zip(self.headers, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """A GitHub-flavoured pipe table (title as bold lead-in line)."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("| " + " | ".join("---" for _ in self.headers) + " |")
+        for row in self._cells():
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_html(self) -> str:
+        parts = ["<table>"]
+        if self.title:
+            parts.append(f"<caption>{_html.escape(self.title)}</caption>")
+        parts.append("<thead><tr>")
+        for h in self.headers:
+            parts.append(f"<th>{_html.escape(h)}</th>")
+        parts.append("</tr></thead><tbody>")
+        for index, row in enumerate(self._cells()):
+            cls = ""
+            if self.row_classes is not None and index < len(self.row_classes):
+                name = self.row_classes[index]
+                if name:
+                    cls = f' class="{_html.escape(name, quote=True)}"'
+            parts.append(f"<tr{cls}>")
+            for cell in row:
+                parts.append(f"<td>{_html.escape(cell)}</td>")
+            parts.append("</tr>")
+        parts.append("</tbody></table>")
+        return "".join(parts)
 
 
 def format_table(
@@ -16,28 +121,7 @@ def format_table(
     title: str | None = None,
 ) -> str:
     """Render a fixed-width table with a header rule."""
-    cells = [[_fmt(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in cells:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
-    lines.append(header)
-    lines.append("-" * len(header))
-    for row in cells:
-        lines.append(
-            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
-        )
-    return "\n".join(lines)
-
-
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)
+    return Table.build(headers, rows, title=title).to_text()
 
 
 def percent(fraction: float, digits: int = 1) -> str:
@@ -51,4 +135,289 @@ def bar(fraction: float, width: int = 40, fill: str = "#") -> str:
     return fill * n + "." * (width - n)
 
 
-__all__ = ["bar", "format_table", "percent"]
+# ----------------------------------------------------------------------
+# Charts
+# ----------------------------------------------------------------------
+#: Colour-slot identity is fixed per entity across the whole report: a
+#: series keeps its slot no matter which chart (or how many series) it
+#: appears in.  Slots index the embedding stylesheet's palette.
+SERIES_CLASS = "series-{slot}"
+
+_SVG_WIDTH = 640
+_SVG_BAR_HEIGHT = 260
+_SVG_LINE_HEIGHT = 280
+_MARGIN_LEFT = 52
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 28
+_MARGIN_BOTTOM = 46
+
+
+def _svg_header(width: int, height: int, title: str) -> list[str]:
+    return [
+        (
+            f'<svg class="chart" role="img" viewBox="0 0 {width} {height}" '
+            f'width="{width}" height="{height}" '
+            'xmlns="http://www.w3.org/2000/svg">'
+        ),
+        f"<title>{_html.escape(title)}</title>",
+    ]
+
+
+def _svg_legend(
+    series: Sequence[str], slots: Sequence[int], width: int
+) -> list[str]:
+    parts = []
+    x = _MARGIN_LEFT
+    y = 14
+    for name, slot in zip(series, slots):
+        cls = SERIES_CLASS.format(slot=slot)
+        parts.append(
+            f'<rect class="{cls}" x="{x}" y="{y - 8}" '
+            'width="10" height="10" rx="2"/>'
+        )
+        label = _html.escape(name)
+        parts.append(
+            f'<text class="legend" x="{x + 14}" y="{y + 1}">{label}</text>'
+        )
+        x += 14 + 7 * len(name) + 18
+    return parts
+
+
+def _grid_lines(
+    height: int, width: int, max_value: float, unit: str
+) -> list[str]:
+    """Four horizontal gridlines with y-axis value labels."""
+    parts = []
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    for i in range(5):
+        frac = i / 4
+        y = _MARGIN_TOP + plot_h * (1 - frac)
+        parts.append(
+            f'<line class="grid" x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{width - _MARGIN_RIGHT}" y2="{y:.1f}"/>'
+        )
+        value = max_value * frac
+        label = f"{value:g}{unit}"
+        parts.append(
+            f'<text class="axis" x="{_MARGIN_LEFT - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_html.escape(label)}</text>'
+        )
+    return parts
+
+
+@dataclass(frozen=True)
+class BarChart:
+    """Grouped bars: one cluster of per-series bars per group.
+
+    ``groups`` maps a group label to its values, aligned with ``series``.
+    ``slots`` pins every series to a palette slot so an entity keeps its
+    colour across charts (default: positional).
+    """
+
+    title: str
+    series: tuple[str, ...]
+    groups: tuple[tuple[str, tuple[float, ...]], ...]
+    slots: tuple[int, ...] = ()
+    max_value: float | None = None
+    unit: str = ""
+
+    def _slots(self) -> tuple[int, ...]:
+        return self.slots or tuple(range(len(self.series)))
+
+    def _ceiling(self) -> float:
+        if self.max_value is not None:
+            return self.max_value
+        peak = max(
+            (v for _, values in self.groups for v in values), default=1.0
+        )
+        return peak or 1.0
+
+    def to_ascii(self, width: int = 36) -> str:
+        """One bar row per (group, series), scaled to the chart ceiling."""
+        ceiling = self._ceiling()
+        label_w = max(len(g) for g, _ in self.groups)
+        series_w = max(len(s) for s in self.series)
+        lines = [self.title]
+        for group, values in self.groups:
+            for name, value in zip(self.series, values):
+                lines.append(
+                    f"{group.ljust(label_w)}  {name.ljust(series_w)}  "
+                    f"{bar(value / ceiling, width=width)} {value:.3f}"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+    def to_svg(self) -> str:
+        width, height = _SVG_WIDTH, _SVG_BAR_HEIGHT
+        ceiling = self._ceiling()
+        slots = self._slots()
+        plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+        parts = _svg_header(width, height, self.title)
+        parts += _grid_lines(height, width, ceiling, self.unit)
+        n_groups = len(self.groups)
+        n_series = len(self.series)
+        group_w = plot_w / max(1, n_groups)
+        # 2px gaps between adjacent bars; bars fill ~70% of the group band.
+        bar_w = max(3.0, (group_w * 0.7 - 2 * (n_series - 1)) / n_series)
+        for g_index, (group, values) in enumerate(self.groups):
+            cluster_w = bar_w * n_series + 2 * (n_series - 1)
+            x0 = _MARGIN_LEFT + g_index * group_w + (group_w - cluster_w) / 2
+            for s_index, (name, value) in enumerate(
+                zip(self.series, values)
+            ):
+                h = plot_h * min(1.0, max(0.0, value / ceiling))
+                x = x0 + s_index * (bar_w + 2)
+                y = _MARGIN_TOP + plot_h - h
+                cls = SERIES_CLASS.format(slot=slots[s_index])
+                tooltip = _html.escape(
+                    f"{group} {name}: {value:.3f}{self.unit}"
+                )
+                parts.append(
+                    f'<rect class="{cls}" x="{x:.1f}" y="{y:.1f}" '
+                    f'width="{bar_w:.1f}" height="{h:.1f}" rx="2">'
+                    f"<title>{tooltip}</title></rect>"
+                )
+            label_x = _MARGIN_LEFT + g_index * group_w + group_w / 2
+            parts.append(
+                f'<text class="axis" x="{label_x:.1f}" '
+                f'y="{height - _MARGIN_BOTTOM + 16}" text-anchor="middle">'
+                f"{_html.escape(group)}</text>"
+            )
+        parts.append(
+            f'<line class="baseline" x1="{_MARGIN_LEFT}" '
+            f'y1="{_MARGIN_TOP + plot_h}" x2="{width - _MARGIN_RIGHT}" '
+            f'y2="{_MARGIN_TOP + plot_h}"/>'
+        )
+        parts += _svg_legend(self.series, slots, width)
+        parts.append("</svg>")
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class LineChart:
+    """Per-series polylines over a shared numeric x-axis (Figures 6/7)."""
+
+    title: str
+    x_values: tuple[float, ...]
+    series: tuple[str, ...]
+    values: tuple[tuple[float, ...], ...]  # aligned with ``series``
+    slots: tuple[int, ...] = ()
+    max_value: float | None = None
+    unit: str = ""
+    x_label: str = ""
+
+    def _slots(self) -> tuple[int, ...]:
+        return self.slots or tuple(range(len(self.series)))
+
+    def _ceiling(self) -> float:
+        if self.max_value is not None:
+            return self.max_value
+        peak = max((v for ys in self.values for v in ys), default=1.0)
+        return peak or 1.0
+
+    def to_ascii(self, height: int = 12) -> str:
+        """A character plot: one symbol per series, rows from max to 0."""
+        ceiling = self._ceiling()
+        symbols = [name[0] for name in self.series]
+        columns = len(self.x_values)
+        rows: list[list[str]] = [
+            [" "] * columns for _ in range(height)
+        ]
+        for ys, symbol in zip(self.values, symbols):
+            for col, value in enumerate(ys):
+                level = round((height - 1) * min(1.0, value / ceiling))
+                row = height - 1 - level
+                cell = rows[row][col]
+                # Coinciding series stack into a '*' so overlap is visible.
+                rows[row][col] = symbol if cell == " " else "*"
+        lines = [self.title]
+        for index, row in enumerate(rows):
+            left = (
+                f"{ceiling:g}{self.unit}".rjust(7)
+                if index == 0
+                else ("0".rjust(7) if index == height - 1 else " " * 7)
+            )
+            lines.append(f"{left} |" + "  ".join(row))
+        axis = " " * 7 + "-" * (2 + 3 * columns - 2)
+        lines.append(axis)
+        # Place each x label at its column, dropping any that would collide.
+        label_row = [" "] * (9 + 3 * columns + 6)
+        cursor = 0
+        for col, x in enumerate(self.x_values):
+            text = f"{x:g}"
+            start = 9 + 3 * col
+            if start < cursor:
+                continue
+            for offset, char in enumerate(text):
+                label_row[start + offset] = char
+            cursor = start + len(text) + 1
+        lines.append("".join(label_row).rstrip())
+        legend = "   ".join(
+            f"{symbol}={name}" for symbol, name in zip(symbols, self.series)
+        )
+        lines.append(f"{self.x_label}   [{legend}]".strip())
+        return "\n".join(lines)
+
+    def to_svg(self) -> str:
+        width, height = _SVG_WIDTH, _SVG_LINE_HEIGHT
+        ceiling = self._ceiling()
+        slots = self._slots()
+        plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+        x_min, x_max = self.x_values[0], self.x_values[-1]
+        span = (x_max - x_min) or 1.0
+
+        def px(x: float) -> float:
+            return _MARGIN_LEFT + plot_w * (x - x_min) / span
+
+        def py(y: float) -> float:
+            return _MARGIN_TOP + plot_h * (1 - min(1.0, y / ceiling))
+
+        parts = _svg_header(width, height, self.title)
+        parts += _grid_lines(height, width, ceiling, self.unit)
+        for x in self.x_values:
+            parts.append(
+                f'<text class="axis" x="{px(x):.1f}" '
+                f'y="{height - _MARGIN_BOTTOM + 16}" text-anchor="middle">'
+                f"{x:g}</text>"
+            )
+        for name, ys, slot in zip(self.series, self.values, slots):
+            cls = SERIES_CLASS.format(slot=slot)
+            points = " ".join(
+                f"{px(x):.1f},{py(y):.1f}"
+                for x, y in zip(self.x_values, ys)
+            )
+            parts.append(f'<polyline class="{cls} line" points="{points}"/>')
+            for x, y in zip(self.x_values, ys):
+                tooltip = _html.escape(
+                    f"{name} @ {x:g}: {y:.1f}{self.unit}"
+                )
+                parts.append(
+                    f'<circle class="{cls}" cx="{px(x):.1f}" '
+                    f'cy="{py(y):.1f}" r="4">'
+                    f"<title>{tooltip}</title></circle>"
+                )
+        if self.x_label:
+            parts.append(
+                f'<text class="axis" x="{width / 2:.0f}" '
+                f'y="{height - 8}" text-anchor="middle">'
+                f"{_html.escape(self.x_label)}</text>"
+            )
+        parts += _svg_legend(self.series, slots, width)
+        parts.append("</svg>")
+        return "".join(parts)
+
+
+Chart = BarChart | LineChart
+
+__all__ = [
+    "BarChart",
+    "Chart",
+    "LineChart",
+    "SERIES_CLASS",
+    "Table",
+    "bar",
+    "format_table",
+    "percent",
+]

@@ -179,6 +179,16 @@ class Engine:
             self._pool = multiprocessing.Pool(processes=workers)
         return self._pool
 
+    def cache_summary(self) -> str | None:
+        """One-line hit/miss summary, or ``None`` if nothing was looked up.
+
+        Shared by the runner's trailing Engine section and the report's
+        provenance footer, so both always agree on the numbers.
+        """
+        if self.cache is not None and self.cache.stats.lookups:
+            return self.cache.stats.summary()
+        return None
+
     def close(self) -> None:
         """Shut the worker pool down; the engine stays usable (re-spawns)."""
         if self._pool is not None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import BarChart, Table
 from repro.machine.config import MachineConfig, paper_config
 from repro.machine.costmodel import (
     CostModel,
@@ -74,31 +74,48 @@ def run_cost_study(
     )
 
 
-def format_report(studies: Sequence[CostStudy]) -> str:
-    sections = []
-    for study in studies:
-        rows = [
-            (
-                org.name,
-                f"{org.total_area:.2f}",
-                f"{org.access_time:.3f}",
-                org.specifier_bits,
-                org.effective_capacity,
-            )
-            for org in study.organizations
-        ]
-        sections.append(
-            format_table(
-                ["organization", "area", "access time", "spec bits", "capacity"],
-                rows,
-                title=(
-                    f"Register-file cost, {study.machine}: R={study.registers}, "
-                    f"{study.read_ports}R/{study.write_ports}W ports "
-                    "(normalized units)"
-                ),
-            )
+def cost_table(study: CostStudy) -> Table:
+    rows = [
+        (
+            org.name,
+            f"{org.total_area:.2f}",
+            f"{org.access_time:.3f}",
+            org.specifier_bits,
+            org.effective_capacity,
         )
-    return "\n\n".join(sections)
+        for org in study.organizations
+    ]
+    return Table.build(
+        ["organization", "area", "access time", "spec bits", "capacity"],
+        rows,
+        title=(
+            f"Register-file cost, {study.machine}: R={study.registers}, "
+            f"{study.read_ports}R/{study.write_ports}W ports "
+            "(normalized units)"
+        ),
+    )
+
+
+def area_chart(studies: Sequence[CostStudy]) -> BarChart:
+    """Normalized area of the four organizations per register count."""
+    organizations = tuple(
+        org.name for org in studies[0].organizations
+    )
+    return BarChart(
+        title="Register-file area by organization (normalized)",
+        series=organizations,
+        groups=tuple(
+            (
+                f"R={study.registers}",
+                tuple(org.total_area for org in study.organizations),
+            )
+            for study in studies
+        ),
+    )
+
+
+def format_report(studies: Sequence[CostStudy]) -> str:
+    return "\n\n".join(cost_table(study).to_text() for study in studies)
 
 
 def main() -> None:  # pragma: no cover - CLI entry
@@ -109,4 +126,11 @@ if __name__ == "__main__":  # pragma: no cover
     main()
 
 
-__all__ = ["CostStudy", "format_report", "read_write_ports", "run_cost_study"]
+__all__ = [
+    "CostStudy",
+    "area_chart",
+    "cost_table",
+    "format_report",
+    "read_write_ports",
+    "run_cost_study",
+]

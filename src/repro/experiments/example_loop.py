@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import BarChart, Table
 from repro.core.clustering import classify_values, scheduler_assignment
 from repro.core.dualfile import DualAllocation, allocate_dual
 from repro.core.swapping import SwapResult, greedy_swap
@@ -97,32 +97,35 @@ def _classification_rows(
     return rows
 
 
-def format_report(result: ExampleResult) -> str:
-    """Render the three tables plus the register totals."""
-    sections = []
-    sections.append(
-        "Figure 4 -- kernel code after modulo scheduling "
-        "(stage numbers in brackets)\n"
-        + result.schedule.format_kernel_clustered()
-    )
-    sections.append(
-        "Figure 5 -- kernel code after swapping\n"
-        + result.swap.schedule.format_kernel_clustered()
-    )
+def kernel_listings(result: ExampleResult) -> list[tuple[str, str]]:
+    """The two kernel-code figures as (title, preformatted body) pairs."""
+    return [
+        (
+            "Figure 4 -- kernel code after modulo scheduling "
+            "(stage numbers in brackets)",
+            result.schedule.format_kernel_clustered(),
+        ),
+        (
+            "Figure 5 -- kernel code after swapping",
+            result.swap.schedule.format_kernel_clustered(),
+        ),
+    ]
+
+
+def example_tables(result: ExampleResult) -> list[Table]:
+    """Tables 2-4 plus the register-requirement summary."""
     rows = [
         (name, lt.start, lt.end, lt.length)
         for name, lt in sorted(result.lifetimes.items())
     ]
     total = sum(lt.length for lt in result.lifetimes.values())
-    sections.append(
-        format_table(
+    return [
+        Table.build(
             ["value", "start", "end", "lifetime"],
             rows,
             title=f"Table 2 -- lifetimes (II={result.ii}, sum={total})",
-        )
-    )
-    sections.append(
-        format_table(
+        ),
+        Table.build(
             ["value", "class"],
             _classification_rows(result.schedule, result.partitioned),
             title=(
@@ -131,10 +134,8 @@ def format_report(result: ExampleResult) -> str:
                 f"left={result.partitioned.cluster_registers(0)}, "
                 f"right={result.partitioned.cluster_registers(1)})"
             ),
-        )
-    )
-    sections.append(
-        format_table(
+        ),
+        Table.build(
             ["value", "class"],
             _classification_rows(result.swap.schedule, result.swapped),
             title=(
@@ -143,10 +144,8 @@ def format_report(result: ExampleResult) -> str:
                 f"(left={result.swapped.cluster_registers(0)}, "
                 f"right={result.swapped.cluster_registers(1)})"
             ),
-        )
-    )
-    sections.append(
-        format_table(
+        ),
+        Table.build(
             ["model", "registers"],
             [
                 ("unified", result.unified_registers),
@@ -154,8 +153,29 @@ def format_report(result: ExampleResult) -> str:
                 ("swapped", result.swapped_registers),
             ],
             title="Register requirements (paper: 42 / 29 / 23)",
-        )
+        ),
+    ]
+
+
+def requirement_chart(result: ExampleResult) -> BarChart:
+    """The 42 / 29 / 23 progression next to the paper's own numbers."""
+    return BarChart(
+        title="Section 4.1 example -- registers required vs. paper",
+        series=("reproduced", "paper"),
+        groups=(
+            ("unified", (float(result.unified_registers), 42.0)),
+            ("partitioned", (float(result.partitioned_registers), 29.0)),
+            ("swapped", (float(result.swapped_registers), 23.0)),
+        ),
     )
+
+
+def format_report(result: ExampleResult) -> str:
+    """Render the three tables plus the register totals."""
+    sections = [
+        f"{title}\n{body}" for title, body in kernel_listings(result)
+    ]
+    sections.extend(table.to_text() for table in example_tables(result))
     return "\n\n".join(sections)
 
 
@@ -167,4 +187,11 @@ if __name__ == "__main__":  # pragma: no cover
     main()
 
 
-__all__ = ["ExampleResult", "format_report", "run_example"]
+__all__ = [
+    "ExampleResult",
+    "example_tables",
+    "format_report",
+    "kernel_listings",
+    "requirement_chart",
+    "run_example",
+]

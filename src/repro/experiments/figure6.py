@@ -18,7 +18,7 @@ from repro.analysis.distributions import (
     CumulativeDistribution,
     cumulative_distribution,
 )
-from repro.analysis.reporting import bar, format_table
+from repro.analysis.reporting import LineChart, Table, bar
 from repro.core.pressure import PressureReport
 from repro.core.swapping import SwapEstimator
 from repro.engine.jobs import PressureResult
@@ -109,36 +109,71 @@ def run_figure6(
     return sets
 
 
+#: Palette slots for the models, shared by every chart in the report so a
+#: model keeps its colour across figures (slot 0 is reserved for Ideal).
+MODEL_SLOTS = {"ideal": 0, "unified": 1, "partitioned": 2, "swapped": 3}
+
+
+def distribution_table(
+    dist: DistributionSet, figure_name: str = "Figure 6"
+) -> Table:
+    """One latency's cumulative curves as a shared :class:`Table`."""
+    rows = []
+    grid = [p.registers for p in dist.curves["unified"].points]
+    for registers in grid:
+        rows.append(
+            (
+                registers,
+                *(
+                    f"{dist.curves[m].at(registers) * 100:.1f}"
+                    for m in MODEL_NAMES
+                ),
+                bar(dist.curves["partitioned"].at(registers), width=24),
+            )
+        )
+    return Table.build(
+        ["registers", *MODEL_NAMES, "partitioned-curve"],
+        rows,
+        title=(
+            f"{figure_name} -- cumulative % of "
+            f"{'cycles' if figure_name == 'Figure 7' else 'loops'}, "
+            f"latency {dist.latency}"
+        ),
+    )
+
+
+def distribution_chart(
+    dist: DistributionSet, figure_name: str = "Figure 6"
+) -> LineChart:
+    """One latency's cumulative curves as a line chart."""
+    grid = tuple(
+        float(p.registers) for p in dist.curves["unified"].points
+    )
+    unit_noun = "cycles" if figure_name == "Figure 7" else "loops"
+    return LineChart(
+        title=(
+            f"{figure_name} -- cumulative % of {unit_noun}, "
+            f"latency {dist.latency}"
+        ),
+        x_values=grid,
+        series=tuple(MODEL_NAMES),
+        values=tuple(
+            tuple(dist.curves[m].at(int(x)) * 100 for x in grid)
+            for m in MODEL_NAMES
+        ),
+        slots=tuple(MODEL_SLOTS[m] for m in MODEL_NAMES),
+        max_value=100.0,
+        unit="%",
+        x_label="registers",
+    )
+
+
 def format_report(
     sets: Sequence[DistributionSet], figure_name: str = "Figure 6"
 ) -> str:
-    sections = []
-    for dist in sets:
-        rows = []
-        grid = [p.registers for p in dist.curves["unified"].points]
-        for registers in grid:
-            rows.append(
-                (
-                    registers,
-                    *(
-                        f"{dist.curves[m].at(registers) * 100:.1f}"
-                        for m in MODEL_NAMES
-                    ),
-                    bar(dist.curves["partitioned"].at(registers), width=24),
-                )
-            )
-        sections.append(
-            format_table(
-                ["registers", *MODEL_NAMES, "partitioned-curve"],
-                rows,
-                title=(
-                    f"{figure_name} -- cumulative % of "
-                    f"{'cycles' if figure_name == 'Figure 7' else 'loops'}, "
-                    f"latency {dist.latency}"
-                ),
-            )
-        )
-    return "\n\n".join(sections)
+    return "\n\n".join(
+        distribution_table(dist, figure_name).to_text() for dist in sets
+    )
 
 
 def main() -> None:  # pragma: no cover - CLI entry
@@ -153,9 +188,12 @@ if __name__ == "__main__":  # pragma: no cover
 
 __all__ = [
     "MODEL_NAMES",
+    "MODEL_SLOTS",
     "DistributionSet",
     "build_distributions",
     "collect_reports",
+    "distribution_chart",
+    "distribution_table",
     "format_report",
     "run_figure6",
 ]

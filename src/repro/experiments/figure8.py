@@ -17,8 +17,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.performance import ModelRun, relative_performance
-from repro.analysis.reporting import bar, format_table
+from repro.analysis.reporting import BarChart, Table, bar
 from repro.core.models import Model
+from repro.experiments.figure6 import MODEL_SLOTS
 from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig, paper_config
@@ -90,7 +91,7 @@ def run_figure8(
     return cells
 
 
-def format_report(cells: Sequence[Figure8Cell]) -> str:
+def performance_table(cells: Sequence[Figure8Cell]) -> Table:
     rows = []
     for cell in cells:
         rows.append(
@@ -103,11 +104,44 @@ def format_report(cells: Sequence[Figure8Cell]) -> str:
                 bar(cell.performance, width=30),
             )
         )
-    return format_table(
+    return Table.build(
         ["config", "model", "perf", "loops spilled", "values spilled", ""],
         rows,
         title="Figure 8 -- performance relative to infinite registers",
     )
+
+
+def cells_by_config(
+    cells: "Sequence[Figure8Cell | object]",
+) -> dict[str, dict[Model, object]]:
+    """``{config label: {model: cell}}`` for chart/validation lookups."""
+    grid: dict[str, dict[Model, object]] = {}
+    for cell in cells:
+        grid.setdefault(cell.label, {})[cell.model] = cell
+    return grid
+
+
+def performance_chart(cells: Sequence[Figure8Cell]) -> BarChart:
+    """The figure's grouped bars: one cluster of model bars per config."""
+    grid = cells_by_config(cells)
+    models = [m for m in Model if any(m in g for g in grid.values())]
+    return BarChart(
+        title="Figure 8 -- performance relative to infinite registers",
+        series=tuple(m.value for m in models),
+        groups=tuple(
+            (
+                label,
+                tuple(by_model[m].performance for m in models),
+            )
+            for label, by_model in grid.items()
+        ),
+        slots=tuple(MODEL_SLOTS[m.value] for m in models),
+        max_value=1.0,
+    )
+
+
+def format_report(cells: Sequence[Figure8Cell]) -> str:
+    return performance_table(cells).to_text()
 
 
 def main() -> None:  # pragma: no cover - CLI entry
@@ -124,6 +158,9 @@ __all__ = [
     "DEFAULT_BUDGETS",
     "DEFAULT_LATENCIES",
     "Figure8Cell",
+    "cells_by_config",
     "format_report",
+    "performance_chart",
+    "performance_table",
     "run_figure8",
 ]

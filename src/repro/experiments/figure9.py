@@ -13,8 +13,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.performance import ModelRun
-from repro.analysis.reporting import bar, format_table
+from repro.analysis.reporting import BarChart, Table, bar
 from repro.core.models import Model
+from repro.experiments.figure6 import MODEL_SLOTS
+from repro.experiments.figure8 import cells_by_config
 from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
 from repro.machine.config import paper_config
@@ -88,7 +90,7 @@ def run_figure9(
     return cells
 
 
-def format_report(cells: Sequence[Figure9Cell]) -> str:
+def density_table(cells: Sequence[Figure9Cell]) -> Table:
     rows = []
     for cell in cells:
         rows.append(
@@ -100,11 +102,31 @@ def format_report(cells: Sequence[Figure9Cell]) -> str:
                 bar(cell.density, width=30),
             )
         )
-    return format_table(
+    return Table.build(
         ["config", "model", "density", "accesses", ""],
         rows,
         title="Figure 9 -- density of memory traffic (bus fraction/cycle)",
     )
+
+
+def density_chart(cells: Sequence[Figure9Cell]) -> BarChart:
+    """Grouped bars of bus-bandwidth fraction per (config, model)."""
+    grid = cells_by_config(cells)
+    models = [m for m in Model if any(m in g for g in grid.values())]
+    return BarChart(
+        title="Figure 9 -- density of memory traffic (bus fraction/cycle)",
+        series=tuple(m.value for m in models),
+        groups=tuple(
+            (label, tuple(by_model[m].density for m in models))
+            for label, by_model in grid.items()
+        ),
+        slots=tuple(MODEL_SLOTS[m.value] for m in models),
+        max_value=1.0,
+    )
+
+
+def format_report(cells: Sequence[Figure9Cell]) -> str:
+    return density_table(cells).to_text()
 
 
 def main() -> None:  # pragma: no cover - CLI entry
@@ -121,6 +143,8 @@ __all__ = [
     "DEFAULT_BUDGETS",
     "DEFAULT_LATENCIES",
     "Figure9Cell",
+    "density_chart",
+    "density_table",
     "format_report",
     "run_figure9",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import time
+from dataclasses import dataclass
 
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.pool import Engine, serial_engine
@@ -36,70 +37,141 @@ from repro.experiments import (
 from repro.workloads.suite import perfect_club_like
 
 
-def run_all(
+@dataclass(frozen=True)
+class SectionRun:
+    """One experiment's structured result plus how long it took."""
+
+    key: str  # stable id: "example", "table1", "figure6", ...
+    title: str  # the heading the text report prints
+    seconds: float
+    result: object  # the driver's own result type
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Every experiment's structured output from one suite run.
+
+    This is the machine-readable form of ``python -m repro run``: the text
+    report renders from it (:func:`format_suite`), and the reproduction
+    artifact (:mod:`repro.report`) consumes it directly.
+    """
+
+    n_loops: int
+    spill_loops: int | None
+    sections: tuple[SectionRun, ...]
+    engine_jobs: int
+    cache_summary: str | None
+    wall_seconds: float
+
+    def section(self, key: str) -> SectionRun:
+        for section in self.sections:
+            if section.key == key:
+                return section
+        raise KeyError(key)
+
+    def result(self, key: str) -> object:
+        return self.section(key).result
+
+
+#: Section key -> the driver function that renders its result as text.
+SECTION_FORMATTERS = {
+    "example": example_loop.format_report,
+    "table1": table1.format_report,
+    "figure6": figure6.format_report,
+    "figure7": figure7.format_report,
+    "figure8": figure8.format_report,
+    "figure9": figure9.format_report,
+    "cost": cost.format_report,
+}
+
+
+def run_suite(
     n_loops: int = 200,
     spill_loops: int | None = None,
     engine: Engine | None = None,
-) -> str:
-    """Run every experiment; returns the concatenated report text."""
+) -> SuiteResult:
+    """Run every experiment through one engine; returns structured results."""
     engine = engine or serial_engine()
     suite = perfect_club_like(n_loops)
     loops = list(suite)
     spill_subset = loops if spill_loops is None else list(
         suite.subset(spill_loops)
     )
-    sections = []
+    started = time.time()
+    sections: list[SectionRun] = []
 
-    def timed(name: str, fn):
+    def timed(key: str, title: str, fn) -> None:
         start = time.time()
-        text = fn()
-        elapsed = time.time() - start
-        sections.append(f"=== {name} ({elapsed:.1f}s) ===\n\n{text}")
+        result = fn()
+        sections.append(SectionRun(key, title, time.time() - start, result))
 
     timed(
+        "example",
         "Tables 2/3/4 -- example loop",
-        lambda: example_loop.format_report(example_loop.run_example()),
+        example_loop.run_example,
     )
     timed(
+        "table1",
         "Table 1 -- PxLy allocatable loops",
-        lambda: table1.format_report(table1.run_table1(loops, engine=engine)),
+        lambda: table1.run_table1(loops, engine=engine),
     )
     timed(
+        "figure6",
         "Figure 6 -- static distributions",
-        lambda: figure6.format_report(
-            figure6.run_figure6(loops, engine=engine)
-        ),
+        lambda: figure6.run_figure6(loops, engine=engine),
     )
     timed(
+        "figure7",
         "Figure 7 -- dynamic distributions",
-        lambda: figure7.format_report(
-            figure7.run_figure7(loops, engine=engine)
-        ),
+        lambda: figure7.run_figure7(loops, engine=engine),
     )
     timed(
+        "figure8",
         "Figure 8 -- performance",
-        lambda: figure8.format_report(
-            figure8.run_figure8(spill_subset, engine=engine)
-        ),
+        lambda: figure8.run_figure8(spill_subset, engine=engine),
     )
     timed(
+        "figure9",
         "Figure 9 -- traffic density",
-        lambda: figure9.format_report(
-            figure9.run_figure9(spill_subset, engine=engine)
-        ),
+        lambda: figure9.run_figure9(spill_subset, engine=engine),
     )
     timed(
+        "cost",
         "Cost model -- Section 3.2",
-        lambda: cost.format_report(
-            [cost.run_cost_study(32), cost.run_cost_study(64)]
-        ),
+        lambda: [cost.run_cost_study(32), cost.run_cost_study(64)],
     )
-    if engine.cache is not None and engine.cache.stats.lookups:
+    return SuiteResult(
+        n_loops=n_loops,
+        spill_loops=spill_loops,
+        sections=tuple(sections),
+        engine_jobs=engine.jobs_run,
+        cache_summary=engine.cache_summary(),
+        wall_seconds=time.time() - started,
+    )
+
+
+def format_suite(suite: SuiteResult) -> str:
+    """The classic concatenated text report, rendered from structured data."""
+    sections = [
+        f"=== {s.title} ({s.seconds:.1f}s) ===\n\n"
+        f"{SECTION_FORMATTERS[s.key](s.result)}"
+        for s in suite.sections
+    ]
+    if suite.cache_summary is not None:
         sections.append(
-            f"=== Engine ===\n\n{engine.jobs_run} evaluation points; "
-            f"cache {engine.cache.stats.summary()}"
+            f"=== Engine ===\n\n{suite.engine_jobs} evaluation points; "
+            f"cache {suite.cache_summary}"
         )
     return "\n\n\n".join(sections)
+
+
+def run_all(
+    n_loops: int = 200,
+    spill_loops: int | None = None,
+    engine: Engine | None = None,
+) -> str:
+    """Run every experiment; returns the concatenated report text."""
+    return format_suite(run_suite(n_loops, spill_loops, engine=engine))
 
 
 def positive_int(text: str) -> int:
@@ -189,10 +261,15 @@ if __name__ == "__main__":  # pragma: no cover
 
 
 __all__ = [
+    "SECTION_FORMATTERS",
+    "SectionRun",
+    "SuiteResult",
     "add_engine_arguments",
     "add_run_arguments",
     "engine_from_args",
+    "format_suite",
     "non_negative_int",
     "positive_int",
     "run_all",
+    "run_suite",
 ]

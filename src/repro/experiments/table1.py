@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.distributions import fraction_fitting
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import BarChart, Table
 from repro.core.swapping import SwapEstimator
 from repro.engine.pool import Engine, serial_engine
 from repro.ir.loop import Loop
@@ -83,7 +83,7 @@ def run_table1(
     return rows
 
 
-def format_report(rows: Sequence[Table1Row]) -> str:
+def table1_table(rows: Sequence[Table1Row]) -> Table:
     table_rows = []
     for row in rows:
         table_rows.append(
@@ -98,7 +98,7 @@ def format_report(rows: Sequence[Table1Row]) -> str:
         *(f"loops%<= {t}" for t in THRESHOLDS),
         *(f"cycles%<= {t}" for t in THRESHOLDS),
     ]
-    return format_table(
+    return Table.build(
         headers,
         table_rows,
         title=(
@@ -106,6 +106,23 @@ def format_report(rows: Sequence[Table1Row]) -> str:
             "unified register file"
         ),
     )
+
+
+def over64_chart(rows: Sequence[Table1Row]) -> BarChart:
+    """Loops/cycles needing more than 64 registers, per configuration."""
+    return BarChart(
+        title="Table 1 -- % needing more than 64 registers",
+        series=("loops", "cycles"),
+        groups=tuple(
+            (row.config, (row.over_64_static(), row.over_64_dynamic()))
+            for row in rows
+        ),
+        unit="%",
+    )
+
+
+def format_report(rows: Sequence[Table1Row]) -> str:
+    return table1_table(rows).to_text()
 
 
 def main() -> None:  # pragma: no cover - CLI entry
@@ -123,5 +140,7 @@ __all__ = [
     "Table1Row",
     "default_configs",
     "format_report",
+    "over64_chart",
     "run_table1",
+    "table1_table",
 ]

@@ -1,4 +1,18 @@
-"""Machine descriptions: resource pools, configurations, cost models."""
+"""Machine descriptions: the VLIW configurations the paper evaluates.
+
+Covers Section 5's machine models and Section 3.2's hardware-cost
+argument: :mod:`~repro.machine.resources` defines functional-unit pools
+(adders, multipliers, memory ports), :mod:`~repro.machine.config` builds
+the named configurations -- :func:`paper_config` (the 2-cluster machine
+of Section 5.2), :func:`pxly` (the Table 1 grid), :func:`example_config`
+(Section 4.1), :func:`clustered_config` (the N-cluster generalization) --
+and :mod:`~repro.machine.costmodel` prices register-file organizations
+(area, access time, specifier bits) to make the "cheaper than doubling"
+conclusion concrete.
+
+Key entry points: :func:`paper_config`, :func:`pxly`,
+:func:`example_config`, and :func:`compare_organizations`.
+"""
 
 from repro.machine.config import (
     ConfigError,

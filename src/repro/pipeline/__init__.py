@@ -57,6 +57,7 @@ from repro.pipeline.policies import (
     get_escalation,
     get_policy,
     pick_victim,
+    register_escalation,
     register_policy,
     spillable_values,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "machine_fingerprint",
     "pick_victim",
     "pressure_pipeline",
+    "register_escalation",
     "register_policy",
     "run_evaluation",
     "run_pressure",

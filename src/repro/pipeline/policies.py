@@ -266,6 +266,21 @@ II_ESCALATIONS: dict[str, IIEscalation] = {
 }
 
 
+def register_escalation(escalation: IIEscalation) -> IIEscalation:
+    """Add a custom escalation strategy (name must be unused).
+
+    Same per-process caveat as :func:`register_policy`: worker processes
+    resolve names against their own registry copy, so register at import
+    time of a module the workers import too, or run with ``workers=0``.
+    """
+    if escalation.name in II_ESCALATIONS:
+        raise ValueError(
+            f"II escalation {escalation.name!r} already registered"
+        )
+    II_ESCALATIONS[escalation.name] = escalation
+    return escalation
+
+
 def get_escalation(name: str) -> IIEscalation:
     try:
         return II_ESCALATIONS[name]
@@ -291,6 +306,7 @@ __all__ = [
     "get_escalation",
     "get_policy",
     "pick_victim",
+    "register_escalation",
     "register_policy",
     "spillable_values",
 ]

@@ -1,0 +1,58 @@
+"""Reproduction artifacts: run the paper's suite, validate, render, ship.
+
+``python -m repro report`` generates a single self-contained Markdown or
+HTML document containing every figure and table of Llosa/Valero/Ayguade
+(HPCA 1995) as reproduced by this codebase, a **paper-expected vs.
+reproduced** delta table driven by the expectation registry
+(:mod:`repro.report.expected`), and a provenance footer (git revision,
+source fingerprint, cache statistics, wall time).  ``repro report
+--check`` exits non-zero when any gated expectation falls outside its
+tolerance -- the repository's one-command reproduction gate.
+
+Layers: :mod:`~repro.report.expected` (the paper's numbers + tolerances),
+:mod:`~repro.report.sections` (suite results -> document sections),
+:mod:`~repro.report.document` (Markdown/HTML rendering of the shared
+table/chart primitives), :mod:`~repro.report.provenance` (the footer),
+:mod:`~repro.report.build` (orchestration used by the CLI).
+"""
+
+from repro.report.build import FILENAMES, ReportResult, generate_report
+from repro.report.document import (
+    Document,
+    Pre,
+    Section,
+    Text,
+    render_html,
+    render_markdown,
+)
+from repro.report.expected import (
+    EXPECTATIONS,
+    Delta,
+    Expectation,
+    evaluate_expectations,
+    failed_gates,
+    gate_summary,
+)
+from repro.report.provenance import Provenance, collect_provenance
+from repro.report.sections import build_document
+
+__all__ = [
+    "Delta",
+    "Document",
+    "EXPECTATIONS",
+    "Expectation",
+    "FILENAMES",
+    "Pre",
+    "Provenance",
+    "ReportResult",
+    "Section",
+    "Text",
+    "build_document",
+    "collect_provenance",
+    "evaluate_expectations",
+    "failed_gates",
+    "gate_summary",
+    "generate_report",
+    "render_html",
+    "render_markdown",
+]

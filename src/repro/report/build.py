@@ -1,0 +1,112 @@
+"""Orchestrate one reproduction artifact: run, validate, render, write.
+
+``python -m repro report`` lands here.  :func:`generate_report` runs the
+full experiment suite through the (cached, parallel) engine, judges every
+registered paper expectation, and renders a single self-contained Markdown
+or HTML document with a provenance footer.  ``--check`` turns the delta
+table into an exit code, making "does this still reproduce the paper?"
+a one-command CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.engine.pool import Engine
+from repro.experiments.runner import SuiteResult, run_suite
+from repro.report.document import RENDERERS, Document
+from repro.report.expected import (
+    Delta,
+    evaluate_expectations,
+    failed_gates,
+    gate_summary,
+)
+from repro.report.provenance import collect_provenance
+from repro.report.sections import build_document
+
+#: Artifact file name per format.
+FILENAMES = {"md": "report.md", "html": "report.html"}
+
+
+@dataclass(frozen=True)
+class ReportResult:
+    """Everything one ``repro report`` invocation produced."""
+
+    suite: SuiteResult
+    deltas: tuple[Delta, ...]
+    document: Document
+    text: str
+    path: Path | None
+
+    @property
+    def failed(self) -> list[Delta]:
+        return failed_gates(self.deltas)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        gated, failed = gate_summary(self.deltas)
+        lines = [
+            f"checks: {len(gated) - len(failed)}/{len(gated)} "
+            "gated expectations pass"
+        ]
+        for delta in failed:
+            lines.append(
+                f"  FAIL {delta.expectation.key}: expected "
+                f"{delta.expected_display}, reproduced "
+                f"{delta.reproduced_display} "
+                f"({delta.expectation.paper_ref})"
+            )
+        if self.path is not None:
+            lines.append(f"artifact: {self.path}")
+        return "\n".join(lines)
+
+
+def generate_report(
+    n_loops: int = 200,
+    spill_loops: int | None = None,
+    engine: Engine | None = None,
+    fmt: str = "md",
+    out_dir: Path | str | None = "report",
+    stamp: bool = True,
+) -> ReportResult:
+    """Run the suite and build (and optionally write) the artifact.
+
+    ``out_dir=None`` renders without writing (``--check``-only runs).
+    ``stamp=False`` omits the generation timestamp, which keeps renders
+    byte-reproducible for tests.
+    """
+    if fmt not in RENDERERS:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of {sorted(RENDERERS)}"
+        )
+    suite = run_suite(n_loops, spill_loops, engine=engine)
+    deltas = tuple(evaluate_expectations(suite))
+    generated_at = (
+        datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+        if stamp
+        else None
+    )
+    provenance = collect_provenance(suite, generated_at=generated_at)
+    document = build_document(suite, deltas, provenance)
+    text = RENDERERS[fmt](document)
+    path = None
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / FILENAMES[fmt]
+        path.write_text(text, encoding="utf-8")
+    return ReportResult(
+        suite=suite,
+        deltas=deltas,
+        document=document,
+        text=text,
+        path=path,
+    )
+
+
+__all__ = ["FILENAMES", "ReportResult", "generate_report"]

@@ -1,0 +1,271 @@
+"""Self-contained report documents: one Markdown or HTML file, no deps.
+
+A :class:`Document` is a titled sequence of :class:`Section`\\ s whose
+blocks are plain text, preformatted listings, or the shared primitives of
+:mod:`repro.analysis.reporting` (tables and charts).  Rendering to
+Markdown uses pipe tables and ASCII charts; rendering to HTML inlines a
+stylesheet (light and dark schemes) and SVG charts, so the artifact is one
+file a reader can open anywhere -- including the GitHub Actions artifact
+viewer -- with zero runtime dependencies.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+from dataclasses import dataclass
+
+from repro.analysis.reporting import BarChart, LineChart, Table
+from repro.report.provenance import Provenance
+
+
+@dataclass(frozen=True)
+class Text:
+    """A paragraph of prose."""
+
+    body: str
+
+
+@dataclass(frozen=True)
+class Pre:
+    """A preformatted listing (kernel code, raw report text)."""
+
+    body: str
+    title: str | None = None
+
+
+Block = Text | Pre | Table | BarChart | LineChart
+
+
+@dataclass(frozen=True)
+class Section:
+    title: str
+    blocks: tuple[Block, ...]
+
+    @property
+    def anchor(self) -> str:
+        """GitHub-style heading slug, so TOC links work when the Markdown
+        artifact is viewed on a forge: lowercase, punctuation dropped,
+        spaces become hyphens, literal hyphens kept."""
+        slug = re.sub(r"[^a-z0-9 -]", "", self.title.lower())
+        return slug.replace(" ", "-")
+
+
+@dataclass(frozen=True)
+class Document:
+    title: str
+    intro: str
+    sections: tuple[Section, ...]
+    provenance: Provenance
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+def _block_markdown(block: Block) -> str:
+    if isinstance(block, Text):
+        return block.body
+    if isinstance(block, Pre):
+        fence = f"```\n{block.body}\n```"
+        return f"**{block.title}**\n\n{fence}" if block.title else fence
+    if isinstance(block, Table):
+        return block.to_markdown()
+    return f"```\n{block.to_ascii()}\n```"
+
+
+def render_markdown(doc: Document) -> str:
+    lines = [f"# {doc.title}", "", doc.intro, ""]
+    lines.append("## Contents")
+    lines.append("")
+    for section in doc.sections:
+        lines.append(f"- [{section.title}](#{section.anchor})")
+    lines.append("")
+    for section in doc.sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        for block in section.blocks:
+            lines.append(_block_markdown(block))
+            lines.append("")
+    lines.append("## Provenance")
+    lines.append("")
+    lines.append("| | |")
+    lines.append("| --- | --- |")
+    for label, value in doc.provenance.rows():
+        lines.append(f"| {label} | `{value}` |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+#: Palette: categorical slots 1-4 of the validated reference palette
+#: (blue / orange / aqua / yellow), stepped separately for light and dark
+#: surfaces.  Charts reference slots via ``.series-N`` classes only, so
+#: this stylesheet is the single place colour lives.
+_STYLE = """
+:root {
+  color-scheme: light dark;
+}
+body {
+  margin: 0;
+  font: 15px/1.55 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+.viz-root {
+  --surface-1: #fcfcfb;
+  --surface-2: #f1f0ee;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #dddcd8;
+  --ok: #008300;
+  --fail: #b3261e;
+  --info: #52514e;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  max-width: 60rem;
+  margin: 0 auto;
+  padding: 2rem 1.5rem 4rem;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19;
+    --surface-2: #262625;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #3a3a38;
+    --ok: #58b658;
+    --fail: #e66767;
+    --info: #c3c2b7;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+  }
+}
+h1 { font-size: 1.7rem; margin: 0 0 .4rem; }
+h2 { font-size: 1.25rem; margin: 2.2rem 0 .6rem;
+     border-bottom: 1px solid var(--grid); padding-bottom: .3rem; }
+p { margin: .5rem 0 1rem; }
+.intro, nav { color: var(--text-secondary); }
+nav ul { margin: .2rem 0 1rem; padding-left: 1.2rem; }
+a { color: var(--series-1); }
+pre {
+  background: var(--surface-2);
+  padding: .8rem 1rem;
+  border-radius: 6px;
+  overflow-x: auto;
+  font: 12.5px/1.45 ui-monospace, "SF Mono", Menlo, Consolas, monospace;
+}
+table {
+  border-collapse: collapse;
+  margin: .6rem 0 1.2rem;
+  font-size: .88rem;
+  font-variant-numeric: tabular-nums;
+}
+caption {
+  caption-side: top;
+  text-align: left;
+  font-weight: 600;
+  padding-bottom: .35rem;
+}
+th, td {
+  border-bottom: 1px solid var(--grid);
+  padding: .3rem .7rem;
+  text-align: right;
+}
+th:first-child, td:first-child { text-align: left; }
+thead th { border-bottom: 2px solid var(--text-secondary); }
+tr.delta-ok td:last-child { color: var(--ok); font-weight: 600; }
+tr.delta-fail td:last-child { color: var(--fail); font-weight: 600; }
+tr.delta-info td:last-child { color: var(--info); }
+svg.chart { display: block; margin: .8rem 0 1.4rem; max-width: 100%;
+            height: auto; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .baseline { stroke: var(--text-secondary); stroke-width: 1; }
+svg .axis, svg .legend {
+  fill: var(--text-secondary);
+  font: 11px system-ui, sans-serif;
+}
+svg .legend { font-weight: 600; }
+svg polyline.line { fill: none; stroke-width: 2; }
+svg .series-0 { fill: var(--series-1); stroke: var(--series-1); }
+svg .series-1 { fill: var(--series-2); stroke: var(--series-2); }
+svg .series-2 { fill: var(--series-3); stroke: var(--series-3); }
+svg .series-3 { fill: var(--series-4); stroke: var(--series-4); }
+footer {
+  margin-top: 3rem;
+  border-top: 1px solid var(--grid);
+  padding-top: 1rem;
+  color: var(--text-secondary);
+  font-size: .85rem;
+}
+footer table { font-size: .85rem; }
+footer code { font-family: ui-monospace, Menlo, Consolas, monospace; }
+"""
+
+
+def _block_html(block: Block) -> str:
+    if isinstance(block, Text):
+        return f"<p>{_html.escape(block.body)}</p>"
+    if isinstance(block, Pre):
+        code = f"<pre>{_html.escape(block.body)}</pre>"
+        if block.title:
+            return f"<p><strong>{_html.escape(block.title)}</strong></p>{code}"
+        return code
+    if isinstance(block, Table):
+        return block.to_html()
+    return block.to_svg()
+
+
+def render_html(doc: Document) -> str:
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">',
+        f"<title>{_html.escape(doc.title)}</title>",
+        f"<style>{_STYLE}</style>",
+        '</head><body><main class="viz-root">',
+        f"<h1>{_html.escape(doc.title)}</h1>",
+        f'<p class="intro">{_html.escape(doc.intro)}</p>',
+        "<nav><ul>",
+    ]
+    for section in doc.sections:
+        parts.append(
+            f'<li><a href="#{section.anchor}">'
+            f"{_html.escape(section.title)}</a></li>"
+        )
+    parts.append("</ul></nav>")
+    for section in doc.sections:
+        parts.append(f'<section id="{section.anchor}">')
+        parts.append(f"<h2>{_html.escape(section.title)}</h2>")
+        for block in section.blocks:
+            parts.append(_block_html(block))
+        parts.append("</section>")
+    parts.append("<footer><h2>Provenance</h2><table><tbody>")
+    for label, value in doc.provenance.rows():
+        parts.append(
+            f"<tr><td>{_html.escape(label)}</td>"
+            f"<td><code>{_html.escape(value)}</code></td></tr>"
+        )
+    parts.append("</tbody></table></footer>")
+    parts.append("</main></body></html>")
+    return "\n".join(parts)
+
+
+RENDERERS = {"md": render_markdown, "html": render_html}
+
+__all__ = [
+    "Block",
+    "Document",
+    "Pre",
+    "RENDERERS",
+    "Section",
+    "Text",
+    "render_html",
+    "render_markdown",
+]

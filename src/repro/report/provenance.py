@@ -1,0 +1,101 @@
+"""Provenance of one reproduction artifact: what ran, where, from what.
+
+A reproduction document is only evidence if a reader can tell exactly which
+code produced it.  The footer therefore records the git revision, the
+engine's source fingerprint (the same hash that invalidates stale cache
+entries -- see :func:`repro.engine.jobs.source_fingerprint`), the Python
+runtime, the suite parameters, and the engine's cache statistics for the
+run that built the document.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.jobs import source_fingerprint
+from repro.experiments.runner import SuiteResult
+from repro.workloads.suite import DEFAULT_SEED
+
+
+def git_revision(root: Path | None = None) -> str:
+    """The checkout's short revision, or ``"unknown"`` outside a repo."""
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Everything the footer of a reproduction artifact records."""
+
+    git: str
+    source: str  # engine source fingerprint (first 12 hex chars)
+    python: str
+    platform: str
+    n_loops: int
+    spill_loops: int | None
+    suite_seed: int
+    engine_jobs: int
+    cache_summary: str | None
+    wall_seconds: float
+    generated_at: str | None = None
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(label, value) pairs, in footer order."""
+        rows = [
+            ("git revision", self.git),
+            ("source fingerprint", self.source),
+            ("python", self.python),
+            ("platform", self.platform),
+            ("suite", f"{self.n_loops} loops, seed {self.suite_seed}"),
+            (
+                "spill subset",
+                "all loops"
+                if self.spill_loops is None
+                else f"{self.spill_loops} loops",
+            ),
+            ("evaluation points", str(self.engine_jobs)),
+            ("cache", self.cache_summary or "disabled"),
+            ("wall time", f"{self.wall_seconds:.1f}s"),
+        ]
+        if self.generated_at:
+            rows.append(("generated", self.generated_at))
+        return rows
+
+
+def collect_provenance(
+    suite: SuiteResult, generated_at: str | None = None
+) -> Provenance:
+    """Assemble the footer data for one finished suite run."""
+    return Provenance(
+        git=git_revision(),
+        source=source_fingerprint()[:12],
+        python=platform.python_version(),
+        platform=f"{sys.platform} ({platform.machine()})",
+        n_loops=suite.n_loops,
+        spill_loops=suite.spill_loops,
+        suite_seed=DEFAULT_SEED,
+        engine_jobs=suite.engine_jobs,
+        cache_summary=suite.cache_summary,
+        wall_seconds=suite.wall_seconds,
+        generated_at=generated_at,
+    )
+
+
+__all__ = ["Provenance", "collect_provenance", "git_revision"]

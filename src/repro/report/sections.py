@@ -1,0 +1,247 @@
+"""Assemble the reproduction document from one suite run.
+
+Each builder turns a driver's structured result into a report section:
+a short narrative stating what the paper reports, the figure as a chart,
+and the full numbers as a table.  The paper-delta section renders the
+expectation registry (:mod:`repro.report.expected`) as a pass/fail table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.reporting import Table
+from repro.experiments import cost, example_loop, figure6, figure8, figure9
+from repro.experiments import table1 as table1_mod
+from repro.experiments.runner import SuiteResult
+from repro.report.document import Document, Pre, Section, Text
+from repro.report.expected import Delta, gate_summary
+from repro.report.provenance import Provenance
+
+_STATUS_MARKS = {"ok": "within", "fail": "OUTSIDE", "info": "info"}
+
+
+def delta_section(deltas: Sequence[Delta]) -> Section:
+    gated, failed = gate_summary(deltas)
+    summary = (
+        f"{len(gated) - len(failed)} of {len(gated)} gated checks pass"
+        + (
+            "."
+            if not failed
+            else f"; {len(failed)} FAILED -- this artifact does not "
+            "reproduce the paper."
+        )
+    )
+    rows = []
+    classes = []
+    for delta in deltas:
+        e = delta.expectation
+        rows.append(
+            (
+                e.key,
+                e.paper_ref,
+                delta.expected_display,
+                delta.reproduced_display,
+                delta.delta_display,
+                _STATUS_MARKS[delta.status],
+            )
+        )
+        classes.append(f"delta-{delta.status}")
+    blocks = [
+        Text(
+            "Every number the paper publishes, next to this run's "
+            "reproduction. 'within' rows satisfy their tolerance; 'info' "
+            "rows are reported but not gated (see docs/"
+            "reproduction-report.md for why). "
+            + summary
+        ),
+        Table.build(
+            ["check", "paper", "expected", "reproduced", "delta", "status"],
+            rows,
+            title="Paper-expected vs. reproduced",
+            row_classes=classes,
+        ),
+    ]
+    return Section(title="Paper-delta validation", blocks=tuple(blocks))
+
+
+def example_section(suite: SuiteResult) -> Section:
+    result = suite.result("example")
+    blocks: list = [
+        Text(
+            "The Section 4.1 walk-through on the example machine "
+            "(2 adders, 2 multipliers, 4 load/store units, latency 3): "
+            "modulo-schedule the example loop, allocate under each model, "
+            "then swap A4 and A6. The paper's requirement progression is "
+            "42 (unified), 29 (partitioned), 23 (swapped)."
+        )
+    ]
+    for title, body in example_loop.kernel_listings(result):
+        blocks.append(Pre(body, title=title))
+    blocks.extend(example_loop.example_tables(result))
+    blocks.append(example_loop.requirement_chart(result))
+    return Section(
+        title="Section 4.1 example (Tables 2-4)", blocks=tuple(blocks)
+    )
+
+
+def table1_section(suite: SuiteResult) -> Section:
+    rows = suite.result("table1")
+    return Section(
+        title="Table 1 -- allocatable loops",
+        blocks=(
+            Text(
+                "Percentage of loops (and of execution cycles) that "
+                "allocate without spilling under a unified register file "
+                "of 16/32/64 registers, across the PxLy machine grid. "
+                "Pressure grows with machine width and latency."
+            ),
+            table1_mod.over64_chart(rows),
+            table1_mod.table1_table(rows),
+        ),
+    )
+
+
+def _distribution_section(
+    suite: SuiteResult, key: str, figure_name: str, narrative: str
+) -> Section:
+    sets = suite.result(key)
+    blocks: list = [Text(narrative)]
+    for dist in sets:
+        blocks.append(figure6.distribution_chart(dist, figure_name))
+        blocks.append(figure6.distribution_table(dist, figure_name))
+    return Section(
+        title=f"{figure_name} -- cumulative register requirements",
+        blocks=tuple(blocks),
+    )
+
+
+def figure6_section(suite: SuiteResult) -> Section:
+    return _distribution_section(
+        suite,
+        "figure6",
+        "Figure 6",
+        "Fraction of loops whose register requirement fits in x "
+        "registers, per model and latency. Partitioning shifts the curve "
+        "markedly left of unified; swapping adds a smaller further shift; "
+        "both dual models gain more at latency 6, where pressure is "
+        "higher.",
+    )
+
+
+def figure7_section(suite: SuiteResult) -> Section:
+    return _distribution_section(
+        suite,
+        "figure7",
+        "Figure 7",
+        "The same distributions weighted by estimated execution time "
+        "(trip count x II): loops with high register requirements carry "
+        "a disproportionate share of the cycles.",
+    )
+
+
+def figure8_section(suite: SuiteResult) -> Section:
+    cells = suite.result("figure8")
+    return Section(
+        title="Figure 8 -- performance",
+        blocks=(
+            Text(
+                "Workload performance relative to the Ideal machine "
+                "(infinite registers) after the full schedule/allocate/"
+                "spill pipeline. With 64 registers the dual models nearly "
+                "match Ideal; with 32 the unified model degrades heavily "
+                "and swapping pays off exactly where pressure hurts most "
+                "(L6/R32)."
+            ),
+            figure8.performance_chart(cells),
+            figure8.performance_table(cells),
+        ),
+    )
+
+
+def figure9_section(suite: SuiteResult) -> Section:
+    cells = suite.result("figure9")
+    return Section(
+        title="Figure 9 -- memory traffic density",
+        blocks=(
+            Text(
+                "Average fraction of memory-bus bandwidth used per cycle. "
+                "Spill code adds loads and stores, so the unified model's "
+                "density rises above the dual models'; the Ideal machine "
+                "gives the workload's intrinsic floor."
+            ),
+            figure9.density_chart(cells),
+            figure9.density_table(cells),
+        ),
+    )
+
+
+def cost_section(suite: SuiteResult) -> Section:
+    studies = suite.result("cost")
+    blocks: list = [
+        Text(
+            "The Section 3.2 cost argument: a dual implementation halves "
+            "each subfile's read ports (shorter access time, quadratically "
+            "less area per port) while the non-consistent organization "
+            "keeps short register specifiers yet stores up to twice as "
+            "many distinct values -- cheaper than doubling the register "
+            "file."
+        ),
+        cost.area_chart(studies),
+    ]
+    blocks.extend(cost.cost_table(study) for study in studies)
+    return Section(
+        title="Register-file cost model (Section 3.2)", blocks=tuple(blocks)
+    )
+
+
+def build_document(
+    suite: SuiteResult,
+    deltas: Sequence[Delta],
+    provenance: Provenance,
+    title: str = (
+        "Non-Consistent Dual Register Files -- reproduction report"
+    ),
+) -> Document:
+    _, failed = gate_summary(deltas)
+    verdict = (
+        "All gated checks pass: this run reproduces the paper within "
+        "the registered tolerances."
+        if not failed
+        else f"{len(failed)} gated check(s) FAIL: see the delta table."
+    )
+    intro = (
+        "Llosa, Valero, Ayguade, 'Non-Consistent Dual Register Files to "
+        "Reduce Register Pressure' (HPCA 1995), reproduced end-to-end on "
+        f"a {suite.n_loops}-loop synthetic Perfect-Club-like suite. "
+        + verdict
+    )
+    sections = (
+        delta_section(deltas),
+        example_section(suite),
+        table1_section(suite),
+        figure6_section(suite),
+        figure7_section(suite),
+        figure8_section(suite),
+        figure9_section(suite),
+        cost_section(suite),
+    )
+    return Document(
+        title=title,
+        intro=intro,
+        sections=sections,
+        provenance=provenance,
+    )
+
+
+__all__ = [
+    "build_document",
+    "cost_section",
+    "delta_section",
+    "example_section",
+    "figure6_section",
+    "figure7_section",
+    "figure8_section",
+    "figure9_section",
+    "table1_section",
+]

@@ -1,4 +1,19 @@
-"""Cycle-level kernel simulator: functional register files + verification."""
+"""Cycle-level kernel simulation: the proof the allocations are real.
+
+The paper's non-consistent dual file (Section 3.1) stores a value in one
+subfile -- or both, when it is consumed from both clusters -- without
+hardware consistency.  This package *executes* generated kernels against
+that semantics: :mod:`~repro.sim.regfile` models unified and dual
+register files cell by cell, :mod:`~repro.sim.executor` issues kernel
+words cycle by cycle and checks every read against
+:mod:`~repro.sim.reference` (a sequential interpreter of the source
+loop), so a mis-assigned cluster or a wrongly shared register surfaces
+as a concrete wrong value, not a plausible-looking number.
+
+Key entry points: :func:`~repro.sim.executor.execute_kernel` (returns a
+:class:`SimulationReport` with per-port traffic), and
+:class:`~repro.sim.regfile.RegisterFile`.
+"""
 
 from repro.sim.executor import (
     PortStats,

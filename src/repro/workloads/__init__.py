@@ -1,4 +1,17 @@
-"""Workloads: hand-written kernels, synthetic generator, suites."""
+"""Workloads: the loops every experiment measures (paper Section 5.1).
+
+The paper evaluates 1258 innermost DO loops from the Perfect Club; this
+package provides the stand-ins: ~50 hand-written numerical kernels
+(:mod:`~repro.workloads.kernels`, including the Section 4.1
+``example_loop``), a seeded synthetic loop generator shaped like them
+(:mod:`~repro.workloads.synthetic`), and :class:`~repro.workloads.suite.Suite`
+-- the deterministic Perfect-Club-like mix the figures run on.
+
+Key entry points: :func:`~repro.workloads.suite.perfect_club_like` (the
+default suite, ``DEFAULT_SEED``-reproducible), ``quick_suite`` (small,
+for tests), :func:`~repro.workloads.kernels.example_loop`, and
+:func:`~repro.workloads.synthetic.generate_suite` for custom mixes.
+"""
 
 from repro.workloads.kernels import (
     all_kernels,

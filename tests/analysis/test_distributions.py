@@ -62,3 +62,23 @@ class TestFractionFitting:
 
     def test_empty(self):
         assert fraction_fitting([], 32) == 0.0
+
+
+class TestEdgeCases:
+    def test_empty_requirements_give_zero_curve(self):
+        dist = cumulative_distribution([])
+        assert all(p.fraction == 0.0 for p in dist.points)
+
+    def test_zero_total_weight(self):
+        dist = cumulative_distribution([8, 16], weights=[0.0, 0.0])
+        assert all(p.fraction == 0.0 for p in dist.points)
+
+    def test_custom_grid_preserved_in_order(self):
+        grid = (64, 8, 32)
+        dist = cumulative_distribution([10], grid=grid)
+        assert tuple(p.registers for p in dist.points) == grid
+
+    def test_label_carried(self):
+        assert cumulative_distribution([1], label="unified").label == (
+            "unified"
+        )

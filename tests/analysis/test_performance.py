@@ -67,3 +67,23 @@ class TestRunAllModels:
         assert set(runs) == set(Model)
         for model, run in runs.items():
             assert run.model is model
+
+
+class TestAggregationEdgeCases:
+    def test_relative_performance_empty_is_zero(self):
+        assert relative_performance([], []) == 0.0
+
+    def test_total_cycles_empty(self):
+        from repro.analysis.performance import total_cycles
+
+        assert total_cycles([]) == 0
+
+    def test_loops_not_fitting_counted(self, small_workload, paper_l6):
+        run = run_model(small_workload, paper_l6, Model.UNIFIED, 4)
+        assert 0 <= run.loops_not_fitting <= len(small_workload)
+
+    def test_run_model_preserves_loop_order(self, small_workload, paper_l3):
+        run = run_model(small_workload, paper_l3, Model.IDEAL, None)
+        assert [ev.loop.name for ev in run.evaluations] == [
+            loop.name for loop in small_workload
+        ]

@@ -38,3 +38,132 @@ class TestHelpers:
 
     def test_bar_proportional(self):
         assert bar(0.5, width=4) == "##.."
+
+
+# ----------------------------------------------------------------------
+# The shared primitives behind the drivers and ``repro report``
+# ----------------------------------------------------------------------
+from repro.analysis.reporting import BarChart, LineChart, Table  # noqa: E402
+
+
+class TestTablePrimitive:
+    def table(self):
+        return Table.build(
+            ["name", "value"],
+            [("unified", 42), ("swapped", 1 / 3)],
+            title="T",
+        )
+
+    def test_text_matches_format_table(self):
+        assert self.table().to_text() == format_table(
+            ["name", "value"],
+            [("unified", 42), ("swapped", 1 / 3)],
+            title="T",
+        )
+
+    def test_markdown_golden(self):
+        assert self.table().to_markdown() == (
+            "**T**\n"
+            "\n"
+            "| name | value |\n"
+            "| --- | --- |\n"
+            "| unified | 42 |\n"
+            "| swapped | 0.33 |"
+        )
+
+    def test_html_golden(self):
+        assert self.table().to_html() == (
+            "<table><caption>T</caption><thead><tr><th>name</th>"
+            "<th>value</th></tr></thead><tbody>"
+            "<tr><td>unified</td><td>42</td></tr>"
+            "<tr><td>swapped</td><td>0.33</td></tr>"
+            "</tbody></table>"
+        )
+
+    def test_html_escapes_cells(self):
+        html = Table.build(["<h>"], [("<&>",)]).to_html()
+        assert "&lt;h&gt;" in html and "&lt;&amp;&gt;" in html
+
+    def test_row_classes_only_in_html(self):
+        table = Table.build(
+            ["a"], [(1,), (2,)], row_classes=("delta-ok", "delta-fail")
+        )
+        assert '<tr class="delta-ok">' in table.to_html()
+        assert "delta-ok" not in table.to_text()
+        assert "delta-ok" not in table.to_markdown()
+
+
+class TestBarChartPrimitive:
+    def chart(self):
+        return BarChart(
+            title="perf",
+            series=("ideal", "unified"),
+            groups=(("L6,R32", (1.0, 0.5)),),
+            max_value=1.0,
+        )
+
+    def test_ascii_golden(self):
+        assert self.chart().to_ascii(width=4) == (
+            "perf\n"
+            "L6,R32  ideal    #### 1.000\n"
+            "L6,R32  unified  ##.. 0.500"
+        )
+
+    def test_svg_structure(self):
+        svg = self.chart().to_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") == 2 + 2  # 2 bars + 2 legend swatches
+        assert "<title>L6,R32 unified: 0.500</title>" in svg
+
+    def test_series_slots_pin_colors(self):
+        chart = BarChart(
+            title="x",
+            series=("unified", "swapped"),
+            groups=(("g", (1.0, 2.0)),),
+            slots=(1, 3),
+        )
+        svg = chart.to_svg()
+        assert 'class="series-1"' in svg and 'class="series-3"' in svg
+        assert 'class="series-0"' not in svg
+
+    def test_values_above_ceiling_clamp(self):
+        chart = BarChart(
+            title="x",
+            series=("s",),
+            groups=(("g", (2.0,)),),
+            max_value=1.0,
+        )
+        assert "#" * 36 in chart.to_ascii(width=36)
+
+
+class TestLineChartPrimitive:
+    def chart(self):
+        return LineChart(
+            title="fig6",
+            x_values=(16.0, 32.0, 64.0),
+            series=("unified", "partitioned"),
+            values=((50.0, 75.0, 100.0), (80.0, 100.0, 100.0)),
+            max_value=100.0,
+            unit="%",
+        )
+
+    def test_ascii_shape(self):
+        text = self.chart().to_ascii(height=5)
+        lines = text.splitlines()
+        assert lines[0] == "fig6"
+        assert lines[1].startswith("   100%")
+        assert "u=unified" in lines[-1] and "p=partitioned" in lines[-1]
+        # Coinciding points render as '*'.
+        assert "*" in text
+
+    def test_ascii_x_labels_at_columns(self):
+        text = self.chart().to_ascii(height=5)
+        label_line = text.splitlines()[-2]
+        assert "16" in label_line and "32" in label_line
+        assert "64" in label_line
+
+    def test_svg_structure(self):
+        svg = self.chart().to_svg()
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6  # one marker per point
+        assert "<title>unified @ 32: 75.0%</title>" in svg

@@ -1,0 +1,72 @@
+"""Every script in examples/ must run at tiny scale against today's API.
+
+The directory is glob-discovered: a newly added example is automatically
+smoke-tested (and this file fails loudly if one needs arguments it does
+not declare here), so the examples cannot silently rot when the API
+moves underneath them.  Content assertions live in
+``tests/integration/test_examples.py``; this suite only guards
+"runs cleanly, at small scale, quickly".
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: Tiny-scale arguments per script (empty tuple: runs with no arguments).
+#: Scripts taking a suite size get the smallest size that exercises the
+#: full flow; everything else must work argument-free.
+TINY_ARGS: dict[str, tuple[str, ...]] = {
+    "quickstart.py": (),
+    "custom_loop.py": (),
+    "simulate_kernel.py": (),
+    "register_file_cost.py": (),
+    "spill_pressure.py": (),
+    "perfect_club_study.py": ("12",),
+    "sweep_models.py": ("8",),
+    "paper_report.py": ("12",),
+}
+
+
+def discovered_scripts() -> list[str]:
+    return sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_has_tiny_scale_args():
+    """A new example must declare how to run it small (or argument-free)."""
+    missing = set(discovered_scripts()) - set(TINY_ARGS)
+    assert not missing, (
+        f"examples without a TINY_ARGS entry: {sorted(missing)} -- add "
+        "one so the smoke test keeps covering every script"
+    )
+
+
+def test_no_stale_entries():
+    stale = set(TINY_ARGS) - set(discovered_scripts())
+    assert not stale, f"TINY_ARGS names deleted scripts: {sorted(stale)}"
+
+
+@pytest.mark.parametrize("script", discovered_scripts())
+def test_example_runs_at_tiny_scale(script, tmp_path):
+    args = TINY_ARGS.get(script, ())
+    if script == "paper_report.py":
+        args = (*args, str(tmp_path / "report"))
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={
+            **__import__("os").environ,
+            "PYTHONPATH": str(EXAMPLES_DIR.parent / "src"),
+            # Keep the smoke test hermetic: no shared on-disk cache.
+            "REPRO_CACHE_DIR": str(tmp_path / "cache"),
+        },
+    )
+    assert result.returncode == 0, (
+        f"{script} {' '.join(args)} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

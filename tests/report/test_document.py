@@ -1,0 +1,168 @@
+"""Golden-text tests for the Markdown/HTML document renderers."""
+
+import pytest
+
+from repro.analysis.reporting import BarChart, Table
+from repro.report.document import (
+    Document,
+    Pre,
+    Section,
+    Text,
+    render_html,
+    render_markdown,
+)
+from repro.report.provenance import Provenance
+
+
+@pytest.fixture
+def provenance():
+    return Provenance(
+        git="abc1234",
+        source="deadbeef0123",
+        python="3.12.0",
+        platform="linux (x86_64)",
+        n_loops=50,
+        spill_loops=None,
+        suite_seed=20061995,
+        engine_jobs=700,
+        cache_summary="10 hits / 5 misses (66.7% hit rate)",
+        wall_seconds=1.5,
+    )
+
+
+@pytest.fixture
+def document(provenance):
+    table = Table.build(
+        ["model", "registers"],
+        [("unified", 42), ("swapped", 23)],
+        title="Requirements",
+    )
+    chart = BarChart(
+        title="Perf",
+        series=("ideal", "unified"),
+        groups=(("L6,R32", (1.0, 0.81)),),
+        max_value=1.0,
+    )
+    return Document(
+        title="Repro <report>",
+        intro="All checks pass.",
+        sections=(
+            Section("Example & more", (Text("Some prose."), table)),
+            Section("Charts", (Pre("kernel code", title="Figure 4"), chart)),
+        ),
+        provenance=provenance,
+    )
+
+
+GOLDEN_MARKDOWN_HEAD = """\
+# Repro <report>
+
+All checks pass.
+
+## Contents
+
+- [Example & more](#example--more)
+- [Charts](#charts)
+
+## Example & more
+
+Some prose.
+
+**Requirements**
+
+| model | registers |
+| --- | --- |
+| unified | 42 |
+| swapped | 23 |
+"""
+
+
+class TestMarkdown:
+    def test_golden_head(self, document):
+        text = render_markdown(document)
+        assert text.startswith(GOLDEN_MARKDOWN_HEAD)
+
+    def test_pre_block_fenced(self, document):
+        text = render_markdown(document)
+        assert "**Figure 4**\n\n```\nkernel code\n```" in text
+
+    def test_chart_rendered_as_ascii(self, document):
+        text = render_markdown(document)
+        assert "L6,R32  ideal" in text
+
+    def test_provenance_footer(self, document):
+        text = render_markdown(document)
+        assert "## Provenance" in text
+        assert "| git revision | `abc1234` |" in text
+        assert "| cache | `10 hits / 5 misses (66.7% hit rate)` |" in text
+        assert "| suite | `50 loops, seed 20061995` |" in text
+
+    def test_no_timestamp_without_stamp(self, document):
+        assert "generated" not in render_markdown(document)
+
+
+class TestHtml:
+    def test_self_contained(self, document):
+        html = render_html(document)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html  # inline stylesheet
+        # No external fetches: no scripts, no links, no http(s) src/href
+        # (the only URL allowed is the SVG xmlns declaration).
+        assert "<script" not in html
+        assert "<link" not in html
+        assert 'src="http' not in html and 'href="http' not in html
+
+    def test_title_escaped(self, document):
+        html = render_html(document)
+        assert "Repro &lt;report&gt;" in html
+        assert "<report>" not in html
+
+    def test_sections_and_nav(self, document):
+        html = render_html(document)
+        assert '<section id="example--more">' in html
+        assert '<a href="#charts">' in html
+
+    def test_table_and_chart_markup(self, document):
+        html = render_html(document)
+        assert "<caption>Requirements</caption>" in html
+        assert '<svg class="chart"' in html
+        assert 'class="series-0"' in html
+
+    def test_dark_scheme_present(self, document):
+        html = render_html(document)
+        assert "prefers-color-scheme: dark" in html
+
+    def test_provenance_footer(self, document):
+        html = render_html(document)
+        assert "<footer>" in html
+        assert "<code>deadbeef0123</code>" in html
+
+
+class TestProvenanceRows:
+    def test_spill_subset_all(self, provenance):
+        rows = dict(provenance.rows())
+        assert rows["spill subset"] == "all loops"
+
+    def test_optional_timestamp(self, provenance):
+        stamped = Provenance(
+            **{
+                **provenance.__dict__,
+                "generated_at": "2026-01-01 00:00 UTC",
+            }
+        )
+        assert ("generated", "2026-01-01 00:00 UTC") in stamped.rows()
+
+
+class TestAnchors:
+    def test_github_style_slugs(self):
+        # Punctuation drops, spaces become hyphens, hyphens survive --
+        # matching how forges anchor rendered Markdown headings.
+        cases = {
+            "Table 1 -- allocatable loops": "table-1----allocatable-loops",
+            "Section 4.1 example (Tables 2-4)": (
+                "section-41-example-tables-2-4"
+            ),
+            "Figure 8 -- performance": "figure-8----performance",
+        }
+        for title, slug in cases.items():
+            assert Section(title, ()).anchor == slug

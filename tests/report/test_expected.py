@@ -1,0 +1,167 @@
+"""The expectation registry: integrity, evaluation, and gating."""
+
+import pytest
+
+from repro.engine.pool import serial_engine
+from repro.experiments.runner import run_suite
+from repro.report.expected import (
+    EXPECTATIONS,
+    Delta,
+    Expectation,
+    evaluate_expectations,
+    failed_gates,
+)
+
+VALID_SECTIONS = {
+    "example",
+    "table1",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "cost",
+}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(20, spill_loops=10, engine=serial_engine())
+
+
+@pytest.fixture(scope="module")
+def deltas(suite):
+    return evaluate_expectations(suite)
+
+
+class TestRegistryIntegrity:
+    def test_keys_unique(self):
+        keys = [e.key for e in EXPECTATIONS]
+        assert len(keys) == len(set(keys))
+
+    def test_sections_valid(self):
+        assert {e.section for e in EXPECTATIONS} <= VALID_SECTIONS
+
+    def test_kinds_complete(self):
+        for e in EXPECTATIONS:
+            if e.kind == "value":
+                assert e.extract is not None and e.paper_value is not None
+            else:
+                assert e.kind == "trend" and e.holds is not None
+
+    def test_deterministic_anchors_have_zero_tolerance(self):
+        for e in EXPECTATIONS:
+            if e.section in ("example", "cost") and e.kind == "value":
+                assert e.tolerance == 0.0, e.key
+
+    def test_ungated_rows_explain_themselves(self):
+        for e in EXPECTATIONS:
+            if not e.gate:
+                assert e.note, f"{e.key}: gate=False needs a note"
+
+    def test_value_expectation_requires_extract(self):
+        with pytest.raises(ValueError):
+            Expectation(
+                key="bad",
+                section="example",
+                paper_ref="x",
+                description="x",
+                kind="value",
+            )
+
+    def test_trend_expectation_requires_holds(self):
+        with pytest.raises(ValueError):
+            Expectation(
+                key="bad",
+                section="example",
+                paper_ref="x",
+                description="x",
+                kind="trend",
+            )
+
+
+class TestEvaluation:
+    def test_every_expectation_evaluates(self, deltas):
+        assert len(deltas) == len(EXPECTATIONS)
+
+    def test_all_gates_pass_at_quick_scale(self, deltas):
+        assert failed_gates(deltas) == []
+
+    def test_deterministic_anchors_exact(self, deltas):
+        by_key = {d.expectation.key: d for d in deltas}
+        assert by_key["example-unified-42"].reproduced == 42.0
+        assert by_key["example-partitioned-29"].reproduced == 29.0
+        assert by_key["example-swapped-23"].reproduced == 23.0
+        assert by_key["example-ii"].reproduced == 1.0
+
+    def test_informational_misses_report_as_info(self, deltas):
+        for delta in deltas:
+            if not delta.expectation.gate:
+                assert delta.status in ("info", "ok")
+
+    def test_delta_displays(self, deltas):
+        for delta in deltas:
+            assert delta.expected_display
+            assert delta.reproduced_display
+            if delta.expectation.kind == "trend":
+                assert delta.delta_display == "--"
+            else:
+                assert delta.delta_display[0] in "+-"
+
+
+class TestGating:
+    def test_failing_value_gate_is_caught(self, suite):
+        impossible = Expectation(
+            key="impossible",
+            section="example",
+            paper_ref="nowhere",
+            description="a value no run can reproduce",
+            extract=lambda s: 0.0,
+            paper_value=1e6,
+        )
+        deltas = evaluate_expectations(suite, [impossible])
+        assert [d.expectation.key for d in failed_gates(deltas)] == [
+            "impossible"
+        ]
+
+    def test_failing_ungated_check_never_fails_gate(self, suite):
+        informational = Expectation(
+            key="informational",
+            section="example",
+            paper_ref="nowhere",
+            description="reported but not gated",
+            extract=lambda s: 0.0,
+            paper_value=1e6,
+            gate=False,
+            note="documented workload artifact",
+        )
+        deltas = evaluate_expectations(suite, [informational])
+        assert failed_gates(deltas) == []
+        assert deltas[0].status == "info"
+
+    def test_failing_trend_gate_is_caught(self, suite):
+        broken = Expectation(
+            key="broken-trend",
+            section="figure8",
+            paper_ref="nowhere",
+            description="a claim that cannot hold",
+            kind="trend",
+            holds=lambda s: False,
+        )
+        deltas = evaluate_expectations(suite, [broken])
+        assert len(failed_gates(deltas)) == 1
+        assert deltas[0].reproduced_display == "violated"
+
+
+class TestDeltaStatus:
+    def test_status_strings(self):
+        e = Expectation(
+            key="k",
+            section="example",
+            paper_ref="r",
+            description="d",
+            extract=lambda s: 1.0,
+            paper_value=1.0,
+        )
+        assert Delta(e, 1.0, True).status == "ok"
+        assert Delta(e, 2.0, False).status == "fail"
+        assert Delta(e, 2.0, None).status == "info"

