@@ -1,0 +1,73 @@
+"""Array kernels vs the dict-based reference implementations.
+
+The same Figure 8/9 spill-evaluation grid as ``bench_pipeline.py``, run
+twice through :func:`repro.pipeline.run_evaluation` with fresh artifact
+stores: once on the dict reference (``use_kernels(False)``) and once on the
+array kernels.  Both must produce identical numbers (asserted); the
+benchmark exists to keep the speedup visible -- ``python -m repro bench``
+emits the same comparison as a machine-readable snapshot, and CI gates on
+its ratio.
+"""
+
+from __future__ import annotations
+
+from repro import kernel
+from repro.bench import LATENCY, bench_grid
+from repro.machine.config import paper_config
+from repro.pipeline import ArtifactStore, run_evaluation
+
+N_LOOPS = 32
+
+
+def _run(loops, store):
+    results = []
+    for loop, machine, model, budget in bench_grid(
+        loops, paper_config(LATENCY)
+    ):
+        ev = run_evaluation(loop, machine, model, budget, store=store)
+        results.append(
+            (
+                ev.ii,
+                ev.spilled_values,
+                ev.ii_increases,
+                ev.fits,
+                ev.requirement.registers,
+            )
+        )
+    return results
+
+
+def _report(benchmark, n_points):
+    seconds = benchmark.stats["mean"] if benchmark.stats else 0.0
+    benchmark.extra_info["points_per_sec"] = (
+        round(n_points / seconds, 1) if seconds else 0.0
+    )
+
+
+def test_grid_legacy_dicts(benchmark, spill_suite):
+    loops = spill_suite[:N_LOOPS]
+    stores = iter([ArtifactStore(max_entries=4096) for _ in range(8)])
+
+    def run():
+        with kernel.use_kernels(False):
+            return _run(loops, next(stores))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(benchmark, len(results))
+
+
+def test_grid_array_kernels(benchmark, spill_suite):
+    loops = spill_suite[:N_LOOPS]
+    stores = iter([ArtifactStore(max_entries=4096) for _ in range(8)])
+
+    def run():
+        with kernel.use_kernels(True):
+            return _run(loops, next(stores))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    with kernel.use_kernels(False):
+        reference = _run(loops, ArtifactStore(max_entries=4096))
+    assert results == reference, (
+        "array kernels diverged from the dict reference"
+    )
+    _report(benchmark, len(results))

@@ -19,6 +19,7 @@ exists to show the pipeline is measurably faster, never slower.
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table
+from repro.bench import LATENCY, bench_grid
 from repro.core.models import Model, required_registers
 from repro.machine.config import paper_config
 from repro.pipeline import ArtifactStore, run_evaluation
@@ -29,9 +30,6 @@ from repro.sched.modulo import modulo_schedule
 from repro.spill.spiller import spill_value
 
 N_LOOPS = 32
-LATENCY = 6
-BUDGETS = (32, 64)
-MODELS = (Model.IDEAL, Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
 
 
 def _monolithic_evaluate(loop, machine, model, register_budget):
@@ -86,14 +84,8 @@ def _monolithic_evaluate(loop, machine, model, register_budget):
 
 
 def _grid(loops):
-    machine = paper_config(LATENCY)
-    for loop in loops:
-        yield loop, machine, Model.IDEAL, None
-        for budget in BUDGETS:
-            for model in MODELS:
-                if model is Model.IDEAL:
-                    continue
-                yield loop, machine, model, budget
+    # The canonical grid lives in repro.bench; every benchmark shares it.
+    yield from bench_grid(loops, paper_config(LATENCY))
 
 
 def _run_monolithic(loops):

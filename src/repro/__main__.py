@@ -7,6 +7,8 @@ Subcommands::
     python -m repro sweep --loops 8 --workers 2   # default grid, smoke scale
     python -m repro report --loops 200 --format html --out report
     python -m repro report --check   # exit non-zero unless paper reproduced
+    python -m repro bench --json BENCH.json --loops 200
+    python -m repro bench --baseline benchmarks/baseline-ci.json --loops 8
     python -m repro cache show
     python -m repro cache prune   # drop entries orphaned by code edits
     python -m repro cache clear
@@ -20,6 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench import SCENARIOS as BENCH_SCENARIOS
+from repro.bench import main as _bench_main
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.sweep import (
     NAMED_SWEEPS,
@@ -111,6 +115,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arguments(report_p)
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the perf scenarios and write a machine-readable snapshot",
+    )
+    bench_p.add_argument(
+        "--loops",
+        type=positive_int,
+        default=32,
+        help="suite size of the benchmark grid (default: 32)",
+    )
+    bench_p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the snapshot as JSON to FILE",
+    )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the dispatch scenario (default: serial)",
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=positive_int,
+        default=1,
+        help=(
+            "run each scenario N times and keep the fastest (use >= 3 on "
+            "noisy/shared hosts; default: 1)"
+        ),
+    )
+    bench_p.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        choices=BENCH_SCENARIOS,
+        help="run only the named scenario(s); repeat the flag for several",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="fail when a ratio regresses against this snapshot",
+    )
+    bench_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional ratio regression (default: 0.25)",
+    )
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("show", "clear", "prune"))
     cache_p.add_argument(
@@ -190,6 +245,7 @@ HANDLERS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "bench": _bench_main,
     "cache": _cmd_cache,
 }
 

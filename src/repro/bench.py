@@ -1,0 +1,276 @@
+"""``python -m repro bench`` -- the machine-readable performance snapshot.
+
+Runs the hot-path benchmark scenarios (the same Figure 8/9 evaluation grid
+as ``benchmarks/bench_pipeline.py``) and emits one JSON document per run:
+wall seconds, grid points, and points/second per scenario, plus the
+hardware-independent ratio the CI regression gate checks.
+
+Scenarios:
+
+* ``cold_kernel``  -- the full spill-evaluation grid on a fresh artifact
+  store with the array kernels enabled (the production path);
+* ``cold_legacy``  -- the same grid on the dict-based reference
+  implementations (``REPRO_KERNELS=0`` semantics);
+* ``warm``         -- the grid repeated against a primed store (pure
+  memoization path, no scheduler runs);
+* ``dispatch``     -- the same points as engine jobs through
+  :func:`repro.engine.pool.run_jobs` (chunked IPC dispatch when
+  ``--workers`` > 1, the serial engine otherwise).
+
+The regression gate (``--baseline`` / ``--max-regression``) compares the
+``kernel_speedup`` ratio (``cold_legacy / cold_kernel``), not wall seconds:
+wall time varies with the host, while the speedup of the same grid on the
+same interpreter is a property of the code.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import kernel
+from repro.analysis.reporting import format_table
+from repro.core.models import Model
+from repro.engine.jobs import evaluate_job
+from repro.engine.pool import run_jobs
+from repro.machine.config import paper_config
+from repro.pipeline import ArtifactStore
+from repro.pipeline.pipelines import run_evaluation
+from repro.report.provenance import git_revision
+from repro.workloads.suite import perfect_club_like
+
+#: The canonical Figure 8/9 bench grid -- the single definition shared by
+#: this driver and the pytest benchmarks (bench_pipeline/bench_kernels),
+#: so the CI-gated ratio and the documented workload cannot drift apart.
+LATENCY = 6
+BUDGETS = (32, 64)
+MODELS = (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
+
+#: Scenario registry order is the report order.
+SCENARIOS = ("cold_kernel", "cold_legacy", "warm", "dispatch")
+
+
+def bench_grid(loops, machine):
+    """One Ideal point plus models x budgets per loop, in driver order."""
+    for loop in loops:
+        yield loop, machine, Model.IDEAL, None
+        for budget in BUDGETS:
+            for model in MODELS:
+                yield loop, machine, model, budget
+
+
+_grid = bench_grid  # backward-compatible private alias
+
+
+def _run_grid(loops, machine, store) -> int:
+    points = 0
+    for loop, mach, model, budget in bench_grid(loops, machine):
+        run_evaluation(loop, mach, model, budget, store=store)
+        points += 1
+    return points
+
+
+def _timed(fn, repeats: int) -> tuple[float, int]:
+    """Best-of-``repeats`` wall time: the minimum is the least noisy
+    estimate of the code's cost on a shared host (CI runners included)."""
+    best = None
+    points = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        points = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, points
+
+
+def run_bench(
+    n_loops: int = 32,
+    workers: int = 0,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    repeats: int = 1,
+) -> dict:
+    """Run the selected scenarios and return the JSON-ready snapshot."""
+    unknown = set(scenarios) - set(SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown bench scenario(s): {sorted(unknown)}")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    machine = paper_config(LATENCY)
+    loops = list(perfect_club_like(n_loops))
+    results: dict[str, dict] = {}
+
+    def record(name: str, seconds: float, points: int) -> None:
+        results[name] = {
+            "seconds": round(seconds, 4),
+            "points": points,
+            "points_per_sec": round(points / seconds, 1) if seconds else 0.0,
+        }
+
+    if "cold_kernel" in scenarios:
+        with kernel.use_kernels(True):
+            seconds, points = _timed(
+                lambda: _run_grid(loops, machine, ArtifactStore(8192)),
+                repeats,
+            )
+        record("cold_kernel", seconds, points)
+    if "cold_legacy" in scenarios:
+        with kernel.use_kernels(False):
+            seconds, points = _timed(
+                lambda: _run_grid(loops, machine, ArtifactStore(8192)),
+                repeats,
+            )
+        record("cold_legacy", seconds, points)
+    if "warm" in scenarios:
+        store = ArtifactStore(8192)
+        _run_grid(loops, machine, store)  # prime
+        seconds, points = _timed(
+            lambda: _run_grid(loops, machine, store), repeats
+        )
+        record("warm", seconds, points)
+    if "dispatch" in scenarios:
+        jobs = [
+            evaluate_job(loop, mach, model, budget)
+            for loop, mach, model, budget in bench_grid(loops, machine)
+        ]
+        seconds, points = _timed(
+            lambda: len(run_jobs(jobs, workers=workers, cache=None)),
+            repeats,
+        )
+        results["dispatch"] = {
+            "seconds": round(seconds, 4),
+            "points": points,
+            "points_per_sec": round(points / seconds, 1) if seconds else 0.0,
+            "workers": workers,
+        }
+
+    snapshot = {
+        "meta": {
+            "loops": n_loops,
+            "repeats": repeats,
+            "grid": {
+                "machine": machine.name,
+                "budgets": list(BUDGETS),
+                "models": ["ideal"] + [m.value for m in MODELS],
+            },
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "git": git_revision(),
+        },
+        "scenarios": results,
+        "ratios": {},
+    }
+    if "cold_kernel" in results and "cold_legacy" in results:
+        cold = results["cold_kernel"]["seconds"]
+        snapshot["ratios"]["kernel_speedup"] = (
+            round(results["cold_legacy"]["seconds"] / cold, 2) if cold else 0.0
+        )
+    if "cold_kernel" in results and "warm" in results:
+        warm = results["warm"]["seconds"]
+        snapshot["ratios"]["warm_speedup"] = (
+            round(results["cold_kernel"]["seconds"] / warm, 2) if warm else 0.0
+        )
+    return snapshot
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Human-readable view of one snapshot."""
+    rows = []
+    for name, data in snapshot["scenarios"].items():
+        label = name
+        if "workers" in data:
+            label = f"{name} (workers={data['workers']})"
+        rows.append(
+            (label, data["seconds"], data["points"], data["points_per_sec"])
+        )
+    meta = snapshot["meta"]
+    table = format_table(
+        ["scenario", "seconds", "points", "points/s"],
+        rows,
+        title=f"repro bench --loops {meta['loops']} ({meta['git']})",
+    )
+    ratios = snapshot.get("ratios") or {}
+    lines = [table]
+    for name, value in ratios.items():
+        lines.append(f"{name}: {value}x")
+    return "\n".join(lines)
+
+
+def check_regression(
+    snapshot: dict, baseline_path: str | Path, max_regression: float
+) -> list[str]:
+    """Compare a snapshot against a checked-in baseline.
+
+    Returns a list of failure messages (empty = pass).  Only the
+    hardware-independent ratios are gated; wall seconds are reported for
+    context but never compared across hosts.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = []
+    base_loops = (baseline.get("meta") or {}).get("loops")
+    here_loops = (snapshot.get("meta") or {}).get("loops")
+    if base_loops is not None and base_loops != here_loops:
+        return [
+            f"baseline was measured at --loops {base_loops}, this run at "
+            f"--loops {here_loops}; ratios are scale-dependent and not "
+            f"comparable"
+        ]
+    for name, reference in (baseline.get("ratios") or {}).items():
+        current = (snapshot.get("ratios") or {}).get(name)
+        if current is None:
+            failures.append(
+                f"{name}: baseline has {reference}, current run lacks the "
+                f"scenarios to compute it"
+            )
+            continue
+        floor = reference * (1.0 - max_regression)
+        if current < floor:
+            failures.append(
+                f"{name}: {current}x is below {floor:.2f}x "
+                f"(baseline {reference}x - {max_regression:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(args) -> int:
+    """CLI entry (wired by :mod:`repro.__main__`)."""
+    scenarios = tuple(args.scenario) if args.scenario else SCENARIOS
+    snapshot = run_bench(
+        n_loops=args.loops,
+        workers=args.workers,
+        scenarios=scenarios,
+        repeats=args.repeats,
+    )
+    print(format_snapshot(snapshot))
+    if args.json:
+        Path(args.json).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.baseline:
+        failures = check_regression(
+            snapshot, args.baseline, args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"bench regression: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"regression gate: ok against {args.baseline} "
+            f"(tolerance {args.max_regression:.0%})"
+        )
+    return 0
+
+
+__all__ = [
+    "BUDGETS",
+    "LATENCY",
+    "MODELS",
+    "SCENARIOS",
+    "bench_grid",
+    "check_regression",
+    "format_snapshot",
+    "main",
+    "run_bench",
+]

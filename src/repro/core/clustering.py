@@ -106,11 +106,21 @@ def consumer_clusters(
 def classify_values(
     schedule: Schedule, assignment: ClusterAssignment
 ) -> ValueClasses:
-    """Map every loop variant to the subfiles that must hold it."""
-    value_clusters = {
-        op.op_id: consumer_clusters(schedule, assignment, op.op_id)
-        for op in schedule.graph.values()
-    }
+    """Map every loop variant to the subfiles that must hold it.
+
+    One pass over the consumer adjacency (``repro.kernel.consumer_map``)
+    instead of an O(ops x operands) rescan per value; the per-value helper
+    :func:`consumer_clusters` remains for point queries.
+    """
+    from repro.kernel import consumer_map
+
+    consumers = consumer_map(schedule.graph)
+    value_clusters = {}
+    for op_id, uses in consumers.items():
+        clusters = frozenset(assignment[c] for c, _distance in uses)
+        if not clusters:
+            clusters = frozenset({assignment[op_id]})
+        value_clusters[op_id] = clusters
     return ValueClasses(
         value_clusters=value_clusters,
         n_clusters=schedule.machine.n_clusters,

@@ -47,9 +47,20 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _execute_keyed(indexed_job: tuple[int, EvalJob]) -> tuple[int, JobResult]:
-    index, job = indexed_job
-    return index, execute_job(job)
+def _execute_chunk(
+    chunk: list[tuple[int, EvalJob]],
+) -> list[tuple[int, JobResult]]:
+    """Execute one chunk of (index, job) pairs inside a worker process.
+
+    Chunked dispatch is the engine's IPC batching: the parent ships one
+    pickled chunk per round trip instead of one job, so the shared machine
+    and loop objects within a chunk are pickled once (pickle memoizes
+    repeated objects within a payload), and the worker's process-wide
+    artifact store serves the chunk's structurally related jobs (the same
+    loop under several models/budgets rides in one chunk) without re-keying
+    across IPC boundaries.  Results return as one message per chunk, too.
+    """
+    return [(index, execute_job(job)) for index, job in chunk]
 
 
 def _relabel(job: EvalJob, result: JobResult) -> JobResult:
@@ -76,7 +87,11 @@ def run_jobs(
 
     ``workers=None`` uses one process per core; ``workers=0`` (or a single
     remaining miss) runs serially in-process.  Cached results are never
-    re-dispatched.  ``pool_factory`` lets a caller lend a long-lived pool:
+    re-dispatched.  Cache misses are shipped to the workers in *chunks* of
+    ``chunksize`` jobs -- one IPC round (and one pickle payload, with shared
+    loop/machine objects deduplicated by the pickler) per chunk instead of
+    per job; the default splits the misses four ways per worker.
+    ``pool_factory`` lets a caller lend a long-lived pool:
     it is invoked only once cache misses actually require workers (an
     all-hits warm run must not pay worker startup), and a pool it returns
     is used without being closed.
@@ -128,18 +143,23 @@ def run_jobs(
         workers = min(workers, len(misses))
         if chunksize is None:
             chunksize = max(1, len(misses) // (workers * 4))
+        # One IPC round per chunk of jobs, not per job: see _execute_chunk.
+        chunks = [
+            misses[lo : lo + chunksize]
+            for lo in range(0, len(misses), chunksize)
+        ]
         shared = pool_factory() if pool_factory is not None else None
         if shared is not None:
-            for index, result in shared.imap_unordered(
-                _execute_keyed, misses, chunksize=chunksize
-            ):
-                finish(index, jobs[index], result)
+            for batch in shared.imap_unordered(_execute_chunk, chunks):
+                for index, result in batch:
+                    finish(index, jobs[index], result)
         else:
             with multiprocessing.Pool(processes=workers) as ephemeral:
-                for index, result in ephemeral.imap_unordered(
-                    _execute_keyed, misses, chunksize=chunksize
+                for batch in ephemeral.imap_unordered(
+                    _execute_chunk, chunks
                 ):
-                    finish(index, jobs[index], result)
+                    for index, result in batch:
+                        finish(index, jobs[index], result)
 
     for index, first in duplicates:
         finish(index, jobs[index], results[first], fresh=False)

@@ -72,6 +72,9 @@ class DependenceGraph:
         self._ops: dict[int, Operation] = {}
         self._extra_edges: list[Edge] = []
         self._next_id = 0
+        #: Mutation counter: bumped by every structural change so lowered
+        #: array forms (:mod:`repro.kernel`) can detect staleness.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -100,6 +103,7 @@ class DependenceGraph:
             is_spill=is_spill,
         )
         self._ops[op_id] = op
+        self._version += 1
         return op
 
     def _check_producer(self, producer: int) -> None:
@@ -121,6 +125,7 @@ class DependenceGraph:
             if isinstance(operand, ValueRef):
                 self._check_producer(operand.producer)
         self._ops[op_id] = replace(self._ops[op_id], operands=operands)
+        self._version += 1
 
     def add_edge(
         self,
@@ -139,6 +144,7 @@ class DependenceGraph:
             raise GraphError("dependence distance must be non-negative")
         edge = Edge(src, dst, kind, distance, min_delay=min_delay)
         self._extra_edges.append(edge)
+        self._version += 1
         return edge
 
     # ------------------------------------------------------------------

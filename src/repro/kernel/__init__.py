@@ -1,0 +1,77 @@
+"""Array kernels: the flat, compiled form of the scheduling problem.
+
+Every hot loop of the reproduction -- the IMS attempt loop, lifetime
+analysis, MaxLive, first-fit interval allocation, the greedy swap search --
+originally ran on dicts of frozen dataclasses (``Schedule.placements``, an
+MRT keyed by ``(row, pool, instance)`` tuples, per-cycle ``live_at`` sums).
+This package lowers the problem once into flat integer arrays and bitmasks:
+
+* :class:`~repro.kernel.machine.MachineArrays` -- pools as indices, unit
+  occupancy as per-row bitmask words, cluster-of-instance tables;
+* :class:`~repro.kernel.loop.LoopArrays` -- the DDG as parallel arrays
+  (pool/latency per op, edge arrays, consumer adjacency built in one pass);
+* :mod:`~repro.kernel.modulo` -- the IMS attempt loop with an O(1)
+  free-instance lookup (lowest zero bit of the row's occupancy word);
+* :mod:`~repro.kernel.lifetimes` -- lifetimes from the consumer adjacency
+  and kernel-cycle live profiles via difference arrays;
+* :mod:`~repro.kernel.firstfit` -- wands-only first-fit as big-integer
+  bitmask probes over the sheared time line;
+* :mod:`~repro.kernel.dual` -- value classification and the non-consistent
+  dual-file allocation on cluster bitmasks;
+* :mod:`~repro.kernel.swap` -- the greedy swap search with incremental
+  per-cluster live-profile deltas instead of a full re-classification per
+  candidate.
+
+The kernels are drop-in replacements: the public modules
+(:mod:`repro.sched.modulo`, :mod:`repro.regalloc`, :mod:`repro.core`)
+dispatch here when kernels are enabled and materialize the same frozen
+dataclasses at the boundary, so schedules, allocations, swap traces, report
+bytes and pipeline fingerprints are identical either way.  The dict
+implementations stay behind :func:`use_kernels` for differential testing
+(``REPRO_KERNELS=0`` disables the kernels process-wide).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_enabled = os.environ.get("REPRO_KERNELS", "1") != "0"
+
+
+def kernels_enabled() -> bool:
+    """Whether the public entry points dispatch to the array kernels."""
+    return _enabled
+
+
+def set_kernels(enabled: bool) -> bool:
+    """Enable/disable the kernels process-wide; returns the prior state."""
+    global _enabled
+    prior = _enabled
+    _enabled = bool(enabled)
+    return prior
+
+
+@contextmanager
+def use_kernels(enabled: bool):
+    """Scoped kernel toggle, used by the differential tests and benchmarks."""
+    prior = set_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_kernels(prior)
+
+
+from repro.kernel.loop import LoopArrays, consumer_map, lower_loop  # noqa: E402
+from repro.kernel.machine import MachineArrays, lower_machine  # noqa: E402
+
+__all__ = [
+    "LoopArrays",
+    "MachineArrays",
+    "consumer_map",
+    "kernels_enabled",
+    "lower_loop",
+    "lower_machine",
+    "set_kernels",
+    "use_kernels",
+]

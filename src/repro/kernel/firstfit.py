@@ -1,0 +1,74 @@
+"""Wands-only first-fit as big-integer bitmask probes.
+
+Under the shear transform of :mod:`repro.regalloc.firstfit` an allocation is
+interval packing on a line with II-granular shifts.  Here the occupied cells
+of that line are one arbitrary-precision integer per register file: bit
+``t`` set means sheared-time cell ``t`` is taken.  Probing a candidate
+window is a shift-and-mask; committing a placement is one ``|=``.  The
+first-fit shift search jumps past the highest blocked cell of the probed
+window, which (like the legacy blocker-end jump) never skips a feasible
+shift, so both implementations return the *smallest* feasible shift -- the
+same shift.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class BitOccupancy:
+    """Occupied cells of one sheared time line as a single big integer.
+
+    Cells may be negative (a fixed placement can start anywhere): the word
+    is kept biased so bit ``x - bias`` represents cell ``x``.
+    """
+
+    __slots__ = ("word", "bias")
+
+    def __init__(self) -> None:
+        self.word = 0
+        self.bias = 0
+
+    def _rebias(self, cell: int) -> None:
+        if cell < self.bias:
+            self.word <<= self.bias - cell
+            self.bias = cell
+
+    def add(self, start: int, end: int) -> None:
+        """Mark the half-open cell range ``[start, end)`` occupied."""
+        self._rebias(start)
+        self.word |= ((1 << (end - start)) - 1) << (start - self.bias)
+
+    def hits(self, start: int, length: int) -> int:
+        """Occupied cells within ``[start, start+length)``, as a bitmask
+        relative to ``start`` (0 means the window is free)."""
+        self._rebias(start)
+        return (self.word >> (start - self.bias)) & ((1 << length) - 1)
+
+
+def first_fit_shift(
+    start: int, end: int, ii: int, occupied: Sequence[BitOccupancy]
+) -> int:
+    """Smallest non-negative shift whose window avoids every occupancy.
+
+    Multi-set queries support the non-consistent dual file, where a value
+    duplicated into several subfiles takes the same register index (hence
+    the same shift) in all of them.
+    """
+    length = end - start
+    shift = 0
+    a = start
+    while True:
+        blocked = 0
+        for occ in occupied:
+            blocked |= occ.hits(a, length)
+        if not blocked:
+            return shift
+        # Jump past the highest blocked cell of this window: every smaller
+        # shift's window still contains it.
+        jump = -(-(a + blocked.bit_length() - start) // ii)
+        shift = shift + 1 if shift + 1 > jump else jump
+        a = start + shift * ii
+
+
+__all__ = ["BitOccupancy", "first_fit_shift"]

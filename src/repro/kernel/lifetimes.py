@@ -1,0 +1,84 @@
+"""Lifetimes and kernel-cycle live profiles on flat arrays.
+
+Lifetime bounds come straight off the consumer adjacency of a
+:class:`~repro.kernel.loop.LoopArrays` -- one pass per value instead of an
+O(ops x operands) ``consumers`` rescan each.
+
+Live profiles use a difference array over the II kernel cycles instead of
+evaluating ``live_at`` per (value, cycle): a lifetime of length ``L``
+contributes ``L // II`` live instances to *every* kernel cycle plus one more
+to the ``L % II`` cycles starting at ``start % II`` (wrapping) -- the closed
+form of ``ceil((end-c)/II) - ceil((start-c)/II)``.  Summing per-value
+contributions into the difference array makes the whole profile O(values +
+II) instead of O(values x II).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.kernel.loop import LoopArrays
+
+
+def lifetime_bounds(
+    la: LoopArrays, times: list[int], ii: int
+) -> tuple[list[int], list[int]]:
+    """``[start, end)`` per value op of ``la.values``, given issue times.
+
+    The paper's definition (Section 2): a value lives from its producer's
+    issue to the last consumer's *finish* (issue + distance * II + latency);
+    a value with no consumers lives until its producer finishes.
+    """
+    latency = la.latency
+    cons = la.cons
+    starts = []
+    ends = []
+    for v in la.values:
+        start = times[v]
+        end = start + latency[v]
+        for c, dist in cons[v]:
+            finish = times[c] + dist * ii + latency[c]
+            if finish > end:
+                end = finish
+        starts.append(start)
+        ends.append(end)
+    return starts, ends
+
+
+def live_profile_spans(
+    spans: Iterable[tuple[int, int]], ii: int
+) -> list[int]:
+    """Total live values at each kernel cycle ``0 .. II-1``."""
+    base = 0
+    diff = [0] * (ii + 1)
+    for start, end in spans:
+        whole, rem = divmod(end - start, ii)
+        base += whole
+        if rem:
+            lo = start % ii
+            hi = lo + rem
+            if hi <= ii:
+                diff[lo] += 1
+                diff[hi] -= 1
+            else:
+                diff[lo] += 1
+                diff[ii] -= 1
+                diff[0] += 1
+                diff[hi - ii] -= 1
+    profile = []
+    running = 0
+    for c in range(ii):
+        running += diff[c]
+        profile.append(base + running)
+    return profile
+
+
+def max_live_spans(spans: Iterable[tuple[int, int]], ii: int) -> int:
+    """Maximum of the live profile; 0 for an empty span set."""
+    spans = list(spans)
+    if not spans:
+        return 0
+    return max(live_profile_spans(spans, ii))
+
+
+__all__ = ["lifetime_bounds", "live_profile_spans", "max_live_spans"]

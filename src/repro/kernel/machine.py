@@ -1,0 +1,64 @@
+"""Machine configurations lowered to index tables and bitmask constants.
+
+A :class:`MachineArrays` turns pool names into dense indices so the
+scheduling kernels can address the modulo reservation table as
+``row * n_pools + pool`` and test unit occupancy with single integer
+operations: each (row, pool) cell is one machine word whose bit ``i`` means
+"unit instance ``i`` is taken", and the first free instance is the lowest
+zero bit -- ``(~word & full_mask)`` isolates it without scanning a list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class MachineArrays:
+    """Flat form of one :class:`~repro.machine.config.MachineConfig`."""
+
+    names: tuple[str, ...]
+    index: dict[str, int]
+    counts: tuple[int, ...]
+    #: Per pool: ``(1 << count) - 1``, the all-units-busy word.
+    full_masks: tuple[int, ...]
+    #: Per pool: instance -> cluster, as a tuple for O(1) lookup.
+    cluster_of: tuple[tuple[int, ...], ...]
+    n_clusters: int
+
+    @property
+    def n_pools(self) -> int:
+        return len(self.names)
+
+
+_cache: "WeakKeyDictionary[MachineConfig, MachineArrays]" = WeakKeyDictionary()
+
+
+def lower_machine(machine: MachineConfig) -> MachineArrays:
+    """Lower a machine config once; memoized per config object."""
+    cached = _cache.get(machine)
+    if cached is not None:
+        return cached
+    names = tuple(p.name for p in machine.pools)
+    counts = tuple(p.count for p in machine.pools)
+    lowered = MachineArrays(
+        names=names,
+        index={name: i for i, name in enumerate(names)},
+        counts=counts,
+        full_masks=tuple((1 << c) - 1 for c in counts),
+        cluster_of=tuple(
+            tuple(
+                machine.cluster_of_instance(name, i) for i in range(count)
+            )
+            for name, count in zip(names, counts)
+        ),
+        n_clusters=machine.n_clusters,
+    )
+    _cache[machine] = lowered
+    return lowered
+
+
+__all__ = ["MachineArrays", "lower_machine"]

@@ -28,21 +28,35 @@ from typing import Protocol, runtime_checkable
 
 from repro.ir.ddg import DependenceGraph
 from repro.ir.operation import OpType
+from repro.kernel import consumer_map
 from repro.regalloc.lifetimes import Lifetime, lifetimes
 from repro.sched.schedule import Schedule
 
 
-def spillable_values(graph: DependenceGraph) -> list[int]:
-    """Values a spill policy may pick: non-spill values with consumers."""
+def spillable_values(
+    graph: DependenceGraph,
+    consumers: dict[int, list[tuple[int, int]]] | None = None,
+) -> list[int]:
+    """Values a spill policy may pick: non-spill values with consumers.
+
+    The consumer adjacency is built once for the whole graph
+    (:func:`repro.kernel.consumer_map`), not rescanned per value; pass a
+    precomputed ``consumers`` map when the caller needs it too.
+    """
+    if consumers is None:
+        consumers = consumer_map(graph)
     result = []
     for op in graph.values():
         if op.is_spill:
             continue
-        consumers = graph.consumers(op.op_id)
-        if not consumers:
+        uses = consumers[op.op_id]
+        if not uses:
             continue
         # Skip values already spilled (their only consumer is a spill store).
-        if all(c.is_spill and c.optype is OpType.STORE for c, _ in consumers):
+        if all(
+            graph.op(c).is_spill and graph.op(c).optype is OpType.STORE
+            for c, _ in uses
+        ):
             continue
         result.append(op.op_id)
     return result
@@ -117,13 +131,13 @@ class MostConsumers:
     name = "most_consumers"
 
     def select(self, schedule, lts):
-        candidates = spillable_values(schedule.graph)
+        consumers = consumer_map(schedule.graph)
+        candidates = spillable_values(schedule.graph, consumers)
         if not candidates:
             return None
-        graph = schedule.graph
         return max(
             candidates,
-            key=lambda i: (len(graph.consumers(i)), lts[i].length, -i),
+            key=lambda i: (len(consumers[i]), lts[i].length, -i),
         )
 
 
@@ -139,14 +153,14 @@ class LeastTraffic:
     name = "least_traffic"
 
     def select(self, schedule, lts):
-        candidates = spillable_values(schedule.graph)
+        consumers = consumer_map(schedule.graph)
+        candidates = spillable_values(schedule.graph, consumers)
         if not candidates:
             return None
-        graph = schedule.graph
         ii = schedule.ii
 
         def added_ops(i: int) -> int:
-            reloads = {(c.op_id, d) for c, d in graph.consumers(i)}
+            reloads = {(c, d) for c, d in consumers[i]}
             return 1 + len(reloads)
 
         return min(

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import kernel
+from repro.kernel.lifetimes import lifetime_bounds
 from repro.sched.schedule import Schedule
 
 
@@ -48,6 +50,19 @@ class Lifetime:
 
 def lifetimes(schedule: Schedule) -> dict[int, Lifetime]:
     """Lifetime of every loop variant in a schedule, keyed by producer id."""
+    if kernel.kernels_enabled():
+        arrays = kernel.lower_loop(schedule.graph, schedule.machine)
+        times = [schedule.placements[op_id].time for op_id in arrays.ids]
+        starts, ends = lifetime_bounds(arrays, times, schedule.ii)
+        return {
+            arrays.ids[v]: Lifetime(arrays.ids[v], starts[k], ends[k])
+            for k, v in enumerate(arrays.values)
+        }
+    return _lifetimes_scan(schedule)
+
+
+def _lifetimes_scan(schedule: Schedule) -> dict[int, Lifetime]:
+    """The dict-based reference implementation (differential tests)."""
     graph = schedule.graph
     machine = schedule.machine
     ii = schedule.ii

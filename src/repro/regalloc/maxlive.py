@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from repro import kernel
+from repro.kernel.lifetimes import live_profile_spans
 from repro.regalloc.lifetimes import Lifetime
 
 
@@ -31,8 +33,15 @@ def live_at(lifetime: Lifetime, cycle: int, ii: int) -> int:
 
 
 def live_profile(lts: Iterable[Lifetime], ii: int) -> list[int]:
-    """Total live values at each kernel cycle ``0 .. II-1``."""
+    """Total live values at each kernel cycle ``0 .. II-1``.
+
+    With kernels enabled the sum is a difference array over the II cycles
+    (O(values + II)); the per-cycle :func:`live_at` scan remains as the
+    reference implementation.
+    """
     lts = list(lts)
+    if kernel.kernels_enabled():
+        return live_profile_spans(((lt.start, lt.end) for lt in lts), ii)
     return [sum(live_at(lt, c, ii) for lt in lts) for c in range(ii)]
 
 

@@ -1,0 +1,127 @@
+"""The ``repro bench`` driver: snapshot shape, CLI, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.bench import (
+    SCENARIOS,
+    check_regression,
+    format_snapshot,
+    run_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return run_bench(
+        n_loops=2, scenarios=("cold_kernel", "cold_legacy", "warm")
+    )
+
+
+class TestRunBench:
+    def test_snapshot_shape(self, snapshot):
+        assert set(snapshot) == {"meta", "scenarios", "ratios"}
+        assert snapshot["meta"]["loops"] == 2
+        for name in ("cold_kernel", "cold_legacy", "warm"):
+            data = snapshot["scenarios"][name]
+            assert data["points"] == 2 * 7  # ideal + 2 budgets x 3 models
+            assert data["seconds"] >= 0
+        assert "kernel_speedup" in snapshot["ratios"]
+        assert "warm_speedup" in snapshot["ratios"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench scenario"):
+            run_bench(n_loops=1, scenarios=("nope",))
+
+    def test_format_mentions_every_scenario(self, snapshot):
+        text = format_snapshot(snapshot)
+        for name in snapshot["scenarios"]:
+            assert name in text
+        assert "kernel_speedup" in text
+
+    def test_dispatch_scenario_records_workers(self):
+        snap = run_bench(n_loops=1, workers=0, scenarios=("dispatch",))
+        assert snap["scenarios"]["dispatch"]["workers"] == 0
+        assert snap["ratios"] == {}
+
+
+class TestRegressionGate:
+    def test_passes_within_tolerance(self, snapshot, tmp_path):
+        baseline = dict(snapshot)
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        assert check_regression(snapshot, path, max_regression=0.25) == []
+
+    def test_fails_on_regressed_ratio(self, snapshot, tmp_path):
+        inflated = {
+            "ratios": {
+                "kernel_speedup": snapshot["ratios"]["kernel_speedup"] * 10
+            }
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(inflated))
+        failures = check_regression(snapshot, path, max_regression=0.25)
+        assert len(failures) == 1
+        assert "kernel_speedup" in failures[0]
+
+    def test_fails_on_scale_mismatch(self, snapshot, tmp_path):
+        baseline = json.loads(json.dumps(snapshot))
+        baseline["meta"]["loops"] = snapshot["meta"]["loops"] + 1
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        failures = check_regression(snapshot, path, max_regression=0.25)
+        assert failures and "scale-dependent" in failures[0]
+
+    def test_fails_on_missing_ratio(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"ratios": {"kernel_speedup": 2.0}}))
+        failures = check_regression(
+            {"ratios": {}}, path, max_regression=0.25
+        )
+        assert failures and "lacks the scenarios" in failures[0]
+
+
+class TestCli:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = cli_main(
+            [
+                "bench",
+                "--loops",
+                "1",
+                "--scenario",
+                "cold_kernel",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["scenarios"]["cold_kernel"]["points"] == 7
+        assert "cold_kernel" in capsys.readouterr().out
+
+    def test_bench_gate_exit_code(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"ratios": {"kernel_speedup": 1e9}}))
+        code = cli_main(
+            [
+                "bench",
+                "--loops",
+                "1",
+                "--scenario",
+                "cold_kernel",
+                "--scenario",
+                "cold_legacy",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_scenario_registry_is_cli_choices(self):
+        assert SCENARIOS == ("cold_kernel", "cold_legacy", "warm", "dispatch")

@@ -122,3 +122,32 @@ class TestEngine:
             warm.pressure_reports(loops, machine)
             assert warm.cache.stats.misses == 0
             assert warm._pool is None  # warm path must not pay worker startup
+
+
+class TestChunkedDispatch:
+    def test_execute_chunk_preserves_indices(self, jobs):
+        from repro.engine.jobs import execute_job
+        from repro.engine.pool import _execute_chunk
+
+        chunk = list(enumerate(jobs[:4]))
+        batch = _execute_chunk(chunk)
+        assert [index for index, _ in batch] == [0, 1, 2, 3]
+        for (index, result), job in zip(batch, jobs[:4]):
+            assert result == execute_job(job)
+
+    def test_explicit_chunksize_matches_serial(self, jobs):
+        serial = run_jobs(jobs, workers=0)
+        for chunksize in (1, 3, len(jobs)):
+            chunked = run_jobs(jobs, workers=2, chunksize=chunksize)
+            assert chunked == serial
+
+    def test_progress_covers_every_job_when_chunked(self, jobs):
+        seen = []
+        run_jobs(
+            jobs,
+            workers=2,
+            chunksize=4,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (len(jobs), len(jobs))
+        assert [done for done, _ in seen] == list(range(1, len(jobs) + 1))

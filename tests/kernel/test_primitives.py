@@ -1,0 +1,99 @@
+"""Kernel primitives against their closed-form/reference counterparts."""
+
+from __future__ import annotations
+
+import random
+
+from repro.kernel.firstfit import BitOccupancy, first_fit_shift
+from repro.kernel.lifetimes import live_profile_spans, max_live_spans
+from repro.regalloc.firstfit import IntervalSet
+from repro.regalloc.firstfit import first_fit_shift as legacy_shift
+from repro.regalloc.lifetimes import Lifetime
+from repro.regalloc.maxlive import live_at
+
+
+class TestBitOccupancy:
+    def test_add_and_probe(self):
+        occ = BitOccupancy()
+        occ.add(3, 7)
+        assert occ.hits(0, 3) == 0
+        assert occ.hits(3, 4) == 0b1111
+        assert occ.hits(6, 4) == 0b0001
+        assert occ.hits(7, 10) == 0
+
+    def test_negative_cells_rebias(self):
+        occ = BitOccupancy()
+        occ.add(-5, -2)
+        occ.add(4, 6)
+        assert occ.hits(-5, 3) == 0b111
+        assert occ.hits(-2, 6) == 0
+        assert occ.hits(2, 4) == 0b1100
+
+    def test_shift_matches_interval_set_on_disjoint_sets(self):
+        # IntervalSet's contract requires disjoint contents (first-fit only
+        # ever stores non-overlapping placements), so build them disjoint.
+        rng = random.Random(42)
+        for _ in range(200):
+            ii = rng.randint(1, 7)
+            occ_bits = BitOccupancy()
+            occ_set = IntervalSet()
+            cursor = 0
+            for _ in range(rng.randint(0, 10)):
+                start = cursor + rng.randint(0, 5)
+                end = start + rng.randint(1, 9)
+                cursor = end
+                occ_bits.add(start, end)
+                occ_set.add(start, end)
+            start = rng.randint(0, 30)
+            lt = Lifetime(0, start, start + rng.randint(1, 10))
+            assert first_fit_shift(lt.start, lt.end, ii, (occ_bits,)) == (
+                legacy_shift(lt, ii, (occ_set,))
+            )
+
+    def test_full_allocations_match_legacy(self):
+        from repro import kernel
+        from repro.regalloc.firstfit import first_fit
+
+        rng = random.Random(9)
+        for _ in range(60):
+            ii = rng.randint(1, 6)
+            lts = []
+            for op_id in range(rng.randint(1, 14)):
+                start = rng.randint(0, 20)
+                lts.append(Lifetime(op_id, start, start + rng.randint(1, 25)))
+            with kernel.use_kernels(False):
+                legacy = first_fit(lts, ii)
+            with kernel.use_kernels(True):
+                masked = first_fit(lts, ii)
+            assert legacy.placements == masked.placements
+            assert (
+                legacy.registers_required == masked.registers_required
+            )
+
+
+class TestLiveProfiles:
+    def test_matches_live_at_scan(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            ii = rng.randint(1, 9)
+            spans = []
+            for _ in range(rng.randint(0, 10)):
+                start = rng.randint(0, 25)
+                spans.append((start, start + rng.randint(1, 30)))
+            lts = [Lifetime(i, s, e) for i, (s, e) in enumerate(spans)]
+            reference = [
+                sum(live_at(lt, c, ii) for lt in lts) for c in range(ii)
+            ]
+            assert live_profile_spans(spans, ii) == reference
+            assert max_live_spans(spans, ii) == (
+                max(reference) if spans else 0
+            )
+
+    def test_empty(self):
+        assert live_profile_spans([], 4) == [0, 0, 0, 0]
+        assert max_live_spans([], 4) == 0
+
+    def test_wrapping_remainder(self):
+        # Length 3 at II=2: one whole copy everywhere plus a wrapped cycle.
+        assert live_profile_spans([(0, 3)], 2) == [2, 1]
+        assert live_profile_spans([(1, 4)], 2) == [1, 2]
