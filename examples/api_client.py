@@ -1,0 +1,103 @@
+"""Drive the typed facade in-process: one Session, every request kind.
+
+The :class:`repro.api.Session` owns the machine defaults, the result
+cache, and the engine -- requests are frozen dataclasses that round-trip
+through JSON, so everything this script does in-process works identically
+over ``python -m repro serve`` (see ``examples/serve_client.py``).
+
+Pass a suite size to scale the experiment/sweep sections up, e.g.::
+
+    python examples/api_client.py 64
+
+Run:  python examples/api_client.py
+"""
+
+import json
+import sys
+
+from repro.api import (
+    EvaluateRequest,
+    ExperimentRequest,
+    LoopSpec,
+    MachineSpec,
+    PressureRequest,
+    ScheduleRequest,
+    Session,
+    SweepRequest,
+    capabilities,
+)
+
+
+def main() -> None:
+    n_loops = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+
+    caps = capabilities()
+    print(
+        f"capabilities: {len(caps['experiments'])} experiments, "
+        f"{len(caps['kernels'])} kernels, "
+        f"policies {', '.join(caps['spill_policies'])}"
+    )
+
+    with Session(machine=MachineSpec(kind="paper", latency=3)) as session:
+        # The Section 4.1 example loop, scheduled on the example machine.
+        schedule = session.schedule(
+            ScheduleRequest(
+                loop=LoopSpec(kind="example"),
+                machine=MachineSpec(kind="example"),
+            )
+        )
+        print(
+            f"\nschedule: {schedule.loop_name} on {schedule.machine}: "
+            f"II={schedule.ii} (MII={schedule.mii}), "
+            f"{schedule.stage_count} stages"
+        )
+
+        # Register pressure of a kernel under the session's default machine.
+        pressure = session.pressure(
+            PressureRequest(loop=LoopSpec(kind="kernel", name="daxpy"))
+        )
+        print(
+            f"pressure: {pressure.loop_name}: unified {pressure.unified}, "
+            f"partitioned {pressure.partitioned}, "
+            f"swapped {pressure.swapped} registers"
+        )
+
+        # Full spill-pipeline evaluation; the request is pure data.
+        request = EvaluateRequest(
+            loop=LoopSpec(kind="kernel", name="hydro_fragment"),
+            model="swapped",
+            register_budget=16,
+        )
+        print(f"\nwire form of the request:\n{json.dumps(request.to_dict())}")
+        first = session.evaluate(request)
+        again = session.evaluate(request)
+        print(
+            f"evaluate: II={first.ii}, {first.spilled_values} spilled, "
+            f"fits={first.fits} (first cached={first.cached}, "
+            f"repeat cached={again.cached})"
+        )
+
+        # A registry experiment with schema-validated parameters.
+        experiment = session.experiment(
+            ExperimentRequest(name="table1", params={"loops": n_loops})
+        )
+        print(f"\n{experiment.text}")
+
+        # A named sweep, rescaled; structured rows plus the rendered table.
+        sweep = session.sweep(SweepRequest(name="rf-size", n_loops=n_loops))
+        print(
+            f"sweep {sweep.name!r}: {sweep.points} points, "
+            f"{len(sweep.rows)} aggregate rows, "
+            f"cache {sweep.cache_hits} hits / {sweep.cache_misses} misses"
+        )
+
+        stats = session.stats()
+        print(
+            f"\nsession: {stats['requests_served']} requests, "
+            f"{stats['engine_jobs']} engine jobs, "
+            f"cache hits {stats['cache']['hits']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

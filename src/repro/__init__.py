@@ -24,7 +24,10 @@ The package implements the paper's complete pipeline in pure Python:
   per table/figure;
 * :mod:`repro.report` -- the reproduction artifact: paper-delta
   validation (``python -m repro report --check``), Markdown/HTML
-  rendering, provenance.
+  rendering, provenance;
+* :mod:`repro.api` -- the versioned typed facade: ``Session``,
+  JSON-round-trippable request/response types, the experiment registry,
+  and the concurrent ``python -m repro serve`` front-end.
 
 Quickstart::
 
@@ -35,6 +38,22 @@ Quickstart::
     print(ev.ii, ev.requirement.registers)
 """
 
+from repro.api import (
+    API_SCHEMA_VERSION,
+    ApiError,
+    EvaluateRequest,
+    ExperimentRequest,
+    LoopSpec,
+    MachineSpec,
+    PressureRequest,
+    ReportRequest,
+    ScheduleRequest,
+    Session,
+    SweepRequest,
+    capabilities,
+    get_experiment,
+    list_experiments,
+)
 from repro.core.models import Model, Requirement, required_registers
 from repro.core.pressure import PressureReport, pressure_report
 from repro.engine.cache import ResultCache, default_cache_dir
@@ -67,8 +86,22 @@ from repro.spill.spiller import LoopEvaluation, evaluate_loop
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_SCHEMA_VERSION",
+    "ApiError",
     "ArtifactStore",
     "Engine",
+    "EvaluateRequest",
+    "ExperimentRequest",
+    "LoopSpec",
+    "MachineSpec",
+    "PressureRequest",
+    "ReportRequest",
+    "ScheduleRequest",
+    "Session",
+    "SweepRequest",
+    "capabilities",
+    "get_experiment",
+    "list_experiments",
     "Loop",
     "LoopBuilder",
     "LoopEvaluation",

@@ -1,4 +1,4 @@
-"""``python -m repro`` -- experiments, sweeps, reports, cache management.
+"""``python -m repro`` -- experiments, sweeps, reports, serving, cache.
 
 Subcommands::
 
@@ -7,6 +7,7 @@ Subcommands::
     python -m repro sweep --loops 8 --workers 2   # default grid, smoke scale
     python -m repro report --loops 200 --format html --out report
     python -m repro report --check   # exit non-zero unless paper reproduced
+    python -m repro serve --port 8357             # the HTTP/JSON API
     python -m repro bench --json BENCH.json --loops 200
     python -m repro bench --baseline benchmarks/baseline-ci.json --loops 8
     python -m repro cache show
@@ -14,7 +15,10 @@ Subcommands::
     python -m repro cache clear
 
 ``run`` is the default: ``python -m repro --loops 200`` still works exactly
-as it always has, now evaluated through the parallel engine.
+as it always has.  Every experiment subcommand routes through the typed
+facade (:mod:`repro.api`): one :class:`~repro.api.session.Session` per
+invocation, wrapping the cached parallel engine, and the grid/policy
+choices below are derived live from the same registries the API serves.
 """
 
 from __future__ import annotations
@@ -22,27 +26,35 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import (
+    ApiError,
+    ExperimentRequest,
+    ReportRequest,
+    Session,
+    SweepRequest,
+    capabilities,
+)
 from repro.bench import SCENARIOS as BENCH_SCENARIOS
 from repro.bench import main as _bench_main
 from repro.engine.cache import ResultCache, default_cache_dir
-from repro.engine.sweep import (
-    NAMED_SWEEPS,
-    format_outcome,
-    named_sweep,
-    run_sweep,
-)
 from repro.experiments.runner import (
     add_engine_arguments,
     add_run_arguments,
     engine_from_args,
+    non_negative_int,
     positive_int,
-    run_all,
 )
-from repro.pipeline.policies import II_ESCALATIONS, SPILL_POLICIES
 
+#: Default port of ``repro serve`` (no registered meaning; override with
+#: ``--port``, or pass 0 for an ephemeral one).
+DEFAULT_SERVE_PORT = 8357
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    # One live snapshot of everything a request may name: the CLI's
+    # choice lists and the API's discovery endpoints share one source.
+    caps = capabilities()
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -54,7 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--name",
         default="performance",
-        choices=sorted(NAMED_SWEEPS),
+        choices=caps["sweeps"],
         help="named sweep grid (default: performance)",
     )
     sweep_p.add_argument(
@@ -71,7 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policy",
         action="append",
         default=None,
-        choices=sorted(SPILL_POLICIES),
+        choices=caps["spill_policies"],
         help=(
             "spill victim policy; repeat the flag to sweep several "
             "(default: the sweep's own, usually 'longest')"
@@ -80,10 +92,38 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--escalation",
         default=None,
-        choices=sorted(II_ESCALATIONS),
+        choices=caps["ii_escalations"],
         help="II escalation strategy when nothing is spillable",
     )
     add_engine_arguments(sweep_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve the typed JSON API over HTTP (shared cache + workers)",
+    )
+    serve_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=non_negative_int,
+        default=DEFAULT_SERVE_PORT,
+        help=f"TCP port; 0 binds ephemeral (default: {DEFAULT_SERVE_PORT})",
+    )
+    serve_p.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="write the bound port to FILE (for scripts; removed on exit)",
+    )
+    serve_p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    add_engine_arguments(serve_p)
 
     report_p = sub.add_parser(
         "report",
@@ -177,54 +217,70 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    print(run_all(args.loops, args.spill_loops, engine=engine_from_args(args)))
+    request = ExperimentRequest(
+        name="suite",
+        params={"loops": args.loops, "spill_loops": args.spill_loops},
+    )
+    with Session(engine=engine_from_args(args)) as session:
+        response = session.experiment(request)
+    print(response.text)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    overrides = {}
-    if args.loops is not None:
-        overrides["n_loops"] = args.loops
-    if args.seed:
-        overrides["seeds"] = tuple(args.seed)
-    if args.policy:
-        overrides["victim_policies"] = tuple(args.policy)
-    if args.escalation:
-        overrides["ii_escalation"] = args.escalation
-    spec = named_sweep(args.name, **overrides)
-    if spec.kind == "pressure" and (args.policy or args.escalation):
-        # Pressure sweeps never spill; silently ignoring the flags would
-        # make a "policy comparison" of identical numbers look meaningful.
-        print(
-            f"repro sweep: error: --policy/--escalation have no effect on "
-            f"the pressure-kind sweep {spec.name!r} (it never spills)",
-            file=sys.stderr,
+    try:
+        request = SweepRequest(
+            name=args.name,
+            n_loops=args.loops,
+            seeds=tuple(args.seed) if args.seed else None,
+            victim_policies=tuple(args.policy) if args.policy else None,
+            ii_escalation=args.escalation,
         )
+    except ApiError as exc:
+        # e.g. --policy/--escalation on a pressure-kind sweep: the facade
+        # rejects knobs that cannot change the numbers.  Its message names
+        # the wire fields; the user typed flags, so translate.
+        message = str(exc).replace(
+            "victim_policies/ii_escalation", "--policy/--escalation"
+        )
+        print(f"repro sweep: error: {message}", file=sys.stderr)
         return 2
-    outcome = run_sweep(
-        spec, engine=engine_from_args(args), echo_progress=True
-    )
-    print(format_outcome(outcome))
+    with Session(engine=engine_from_args(args)) as session:
+        response = session.sweep(request, echo_progress=True)
+    print(response.text)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.report import generate_report
-
     out_dir = args.out
     if out_dir is None:
         out_dir = None if args.check else "report"
-    result = generate_report(
+    request = ReportRequest(
         n_loops=args.loops,
         spill_loops=args.spill_loops,
-        engine=engine_from_args(args),
         fmt=args.fmt,
         out_dir=out_dir,
+        check=args.check,
     )
-    print(result.summary())
-    if args.check and not result.ok:
+    with Session(engine=engine_from_args(args)) as session:
+        response = session.report(request)
+    print(response.summary)
+    if args.check and not response.ok:
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.serve import run_server
+
+    session = Session(engine=engine_from_args(args))
+    return run_server(
+        session,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        quiet=not args.verbose,
+    )
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -245,6 +301,7 @@ HANDLERS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "bench": _bench_main,
     "cache": _cmd_cache,
 }

@@ -1,0 +1,265 @@
+"""``python -m repro serve`` -- the facade over a socket, many clients.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` front-end: every
+request thread dispatches through **one shared**
+:class:`~repro.api.session.Session`, so concurrent clients share the
+result cache and the engine's worker pool -- the second client asking for
+an already-evaluated point gets a cache hit, not a recomputation.
+
+Wire protocol (HTTP/JSON; see ``docs/api.md``):
+
+* ``POST /v1/{schedule,pressure,evaluate,sweep,experiment,report}`` --
+  body is the request's ``to_dict()`` form; the path names the type, so
+  the ``type`` tag is optional in the body.
+* ``GET /v1/health`` -- liveness plus live session counters (cache
+  hits/misses, jobs run).
+* ``GET /v1/experiments`` / ``GET /v1/capabilities`` -- discovery: the
+  experiment registry with parameter schemas, and every name a request
+  may use.
+* ``POST /v1/shutdown`` -- graceful stop: in-flight requests finish, the
+  process exits 0.
+
+Every response is an envelope: ``{"ok": true, "result": {...}}`` on
+success, ``{"ok": false, "error": {"type", "message", "status"}}`` on
+failure, with the HTTP status matching the error's.  Unknown schema
+versions, unknown fields, and malformed JSON are all 400s with a
+diagnosable message -- never a stack trace on the socket.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from repro.api.registry import capabilities, list_experiments
+from repro.api.session import Session
+from repro.api.types import (
+    API_SCHEMA_VERSION,
+    ApiError,
+    REQUEST_TYPES,
+    RequestValidationError,
+)
+
+#: Cap on request bodies; a typed request is tiny, so anything bigger is
+#: either a mistake or abuse and dies before being buffered.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One shared session behind a thread-per-request HTTP server.
+
+    Handler threads are non-daemon and joined by ``server_close()``
+    (``block_on_close``), so a graceful shutdown really does let
+    in-flight requests finish before the session (and its worker pool)
+    is torn down; the per-connection socket timeout on the handler
+    bounds how long an idle keep-alive connection can delay that join.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, session: Session, quiet: bool = True):
+        self.session = session
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def handle_error(self, request, client_address):
+        """Swallow benign client disconnects; report real faults."""
+        import sys as _sys
+
+        exc = _sys.exc_info()[1]
+        if isinstance(
+            exc, (BrokenPipeError, ConnectionResetError, TimeoutError)
+        ):
+            return  # the client went away mid-exchange; not our fault
+        super().handle_error(request, client_address)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: an idle keep-alive connection, or a client that
+    #: declared more body than it sends, releases its thread in bounded
+    #: time instead of hanging it forever.
+    timeout = 30
+    server: ReproServer  # narrowed for type checkers
+
+    # ------------------------------------------------------------------
+    # Envelope plumbing
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _ok(self, result) -> None:
+        self._send(200, {"ok": True, "result": result})
+
+    def _fail(self, status: int, error_type: str, message: str) -> None:
+        self._send(
+            status,
+            {
+                "ok": False,
+                "error": {
+                    "type": error_type,
+                    "message": message,
+                    "status": status,
+                },
+            },
+        )
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        path = urlsplit(self.path).path
+        if path in ("/v1/health", "/health"):
+            self._ok(
+                {
+                    "status": "serving",
+                    "schema_version": API_SCHEMA_VERSION,
+                    **self.server.session.stats(),
+                }
+            )
+        elif path == "/v1/experiments":
+            self._ok([e.describe() for e in list_experiments()])
+        elif path == "/v1/capabilities":
+            self._ok(capabilities())
+        else:
+            self._fail(404, "NotFound", f"no route for GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        path = urlsplit(self.path).path
+        if path == "/v1/shutdown":
+            self._ok({"status": "shutting down"})
+            # shutdown() joins the serve loop; calling it from a handler
+            # thread is safe, from the loop's own thread it would deadlock.
+            threading.Thread(
+                target=self.server.shutdown, daemon=True
+            ).start()
+            return
+        op = path.removeprefix("/v1/")
+        if "/v1/" + op != path or op not in REQUEST_TYPES:
+            self._fail(
+                404,
+                "NotFound",
+                f"no route for POST {path} "
+                f"(operations: {', '.join(sorted(REQUEST_TYPES))})",
+            )
+            return
+        try:
+            body = self._read_body()
+            request = REQUEST_TYPES[op].from_dict(body)
+            if getattr(request, "out_dir", None) is not None:
+                # A network peer must not get a write-anywhere primitive
+                # with the server's privileges; artifacts travel in-band.
+                raise RequestValidationError(
+                    "out_dir is not accepted over the wire; set "
+                    "include_text=true and write the artifact client-side"
+                )
+            response = self.server.session.submit(request)
+        except ApiError as exc:
+            self._fail(exc.status, type(exc).__name__, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - envelope, never a trace
+            self._fail(500, type(exc).__name__, str(exc))
+            return
+        self._ok(response.to_dict())
+
+    def _read_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise RequestValidationError("bad Content-Length header")
+        if length < 0:
+            # rfile.read(-N) would mean read-to-EOF and hang the thread
+            # on a connection the client keeps open.
+            raise RequestValidationError("negative Content-Length header")
+        if length > MAX_BODY_BYTES:
+            # Drain (boundedly) so the 400 reaches a client still writing,
+            # then drop the connection rather than resync mid-stream.
+            self.close_connection = True
+            remaining = min(length, 8 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise RequestValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            data = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise RequestValidationError(f"request body is not JSON: {exc}")
+        if not isinstance(data, dict):
+            raise RequestValidationError("request body must be an object")
+        return data
+
+
+def run_server(
+    session: Session,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    port_file: str | None = None,
+    quiet: bool = True,
+) -> int:
+    """Serve until shut down (signal or ``POST /v1/shutdown``); returns 0.
+
+    ``port=0`` binds an ephemeral port; ``port_file`` (written after the
+    bind, removed on exit) lets scripts discover it without parsing
+    stdout.
+    """
+    server = ReproServer((host, port), session, quiet=quiet)
+
+    def _graceful(signum, frame):  # pragma: no cover - signal path
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:  # signals exist only in the main thread; tests run in others
+        previous = signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:  # pragma: no cover - non-main thread
+        previous = None
+    if port_file:
+        Path(port_file).write_text(str(server.port), encoding="utf-8")
+    print(
+        f"repro serve: listening on http://{host}:{server.port} "
+        f"(schema v{API_SCHEMA_VERSION}; POST /v1/shutdown or Ctrl+C "
+        f"to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        session.close()
+        if previous is not None:  # pragma: no branch
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        if port_file:
+            Path(port_file).unlink(missing_ok=True)
+    print("repro serve: shut down cleanly", flush=True)
+    return 0
+
+
+__all__ = ["MAX_BODY_BYTES", "ReproServer", "run_server"]

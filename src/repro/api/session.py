@@ -1,0 +1,339 @@
+"""The facade's stateful entry point: one :class:`Session`, many requests.
+
+A Session owns the things every request needs -- default
+:class:`~repro.api.types.MachineSpec`, default pipeline policies, and one
+:class:`~repro.engine.pool.Engine` (result cache + worker pool) -- and
+dispatches the typed requests of :mod:`repro.api.types` to the core.
+Because the engine is shared, concurrent callers (threads in this
+process, clients of ``python -m repro serve``) share cache hits and the
+worker pool: the second identical request costs a lookup, not a
+recomputation.
+
+Thread safety: a session-level lock serializes access to the engine and
+cache (their bookkeeping is not thread-safe); parallelism inside one
+request still fans out over the engine's worker processes.  The lock is
+held only around core evaluation, so request validation and response
+serialization stay concurrent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.registry import get_experiment
+from repro.api.types import (
+    ApiError,
+    EvaluateRequest,
+    EvaluateResponse,
+    ExperimentRequest,
+    ExperimentResponse,
+    LoopSpec,
+    MachineSpec,
+    PressureRequest,
+    PressureResponse,
+    ReportRequest,
+    ReportResponse,
+    RequestValidationError,
+    ScheduleRequest,
+    ScheduleResponse,
+    SweepRequest,
+    SweepResponse,
+    WireMessage,
+)
+from repro.core.swapping import SwapEstimator
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import EvalJob, evaluate_job, pressure_job
+from repro.engine.pool import Engine
+from repro.engine.sweep import aggregate_rows, format_outcome, outcome_headers, run_sweep
+
+
+class Session:
+    """Owns defaults + engine; turns requests into responses.
+
+    ``engine=None`` builds a private engine: serial (``workers=0``) with
+    an in-memory cache by default -- deterministic and hermetic -- or
+    disk-backed when ``cache_dir`` is given.  Pass an explicit
+    :class:`~repro.engine.pool.Engine` to share cache and workers with
+    other machinery (the CLI does exactly that).
+
+    The default machine and policy knobs fill every request field left
+    ``None``, so a session configured once evaluates everything under a
+    consistent regime.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: Engine | None = None,
+        workers: int = 0,
+        cache_dir=None,
+        machine: MachineSpec | None = None,
+        swap_estimator: str = SwapEstimator.MAXLIVE.value,
+        victim_policy: str = "longest",
+        pressure_strategy: str = "spill",
+        ii_escalation: str = "increment",
+    ):
+        if engine is None:
+            engine = Engine(
+                workers=workers, cache=ResultCache(directory=cache_dir)
+            )
+        self.engine = engine
+        self.machine = machine if machine is not None else MachineSpec()
+        self.swap_estimator = swap_estimator
+        self.victim_policy = victim_policy
+        self.pressure_strategy = pressure_strategy
+        self.ii_escalation = ii_escalation
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        # Fail on a bad session default now, not on the first request.
+        EvalJob(
+            kind="pressure",
+            loop=LoopSpec(kind="example").resolve(),
+            machine=self.machine.resolve(),
+            swap_estimator=swap_estimator,
+            victim_policy=victim_policy,
+            pressure_strategy=pressure_strategy,
+            ii_escalation=ii_escalation,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine's worker pool; the session stays usable."""
+        self.engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _machine(self, spec: MachineSpec | None):
+        return (spec if spec is not None else self.machine).resolve()
+
+    def _run_job(self, job: EvalJob):
+        """Execute one engine job; returns ``(result, served_from_cache)``."""
+        stats = self.engine.cache.stats if self.engine.cache else None
+        with self._lock:
+            hits_before = stats.hits if stats is not None else 0
+            result = self.engine.map([job])[0]
+            cached = stats is not None and stats.hits > hits_before
+            self.requests_served += 1
+        return result, cached
+
+    def stats(self) -> dict:
+        """Live session counters (the serve front-end's health payload).
+
+        Deliberately lock-free: health/liveness must answer while a long
+        request holds the session lock.  The counters are plain ints read
+        atomically; a snapshot taken mid-request may be one event stale,
+        which is fine for monitoring.
+        """
+        cache = (
+            self.engine.cache.stats.as_dict()
+            if self.engine.cache is not None
+            else None
+        )
+        return {
+            "requests_served": self.requests_served,
+            "engine_jobs": self.engine.jobs_run,
+            "cache": cache,
+        }
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Modulo-schedule the named loop; no engine, always computed."""
+        from repro.sched.mii import minimum_ii
+        from repro.sched.modulo import schedule_loop
+
+        loop = request.loop.resolve()
+        machine = self._machine(request.machine)
+        mii = minimum_ii(loop.graph, machine)
+        schedule = schedule_loop(loop, machine)
+        with self._lock:
+            self.requests_served += 1
+        return ScheduleResponse(
+            loop_name=loop.name,
+            machine=machine.name,
+            ii=schedule.ii,
+            mii=mii.mii,
+            res_mii=mii.res,
+            rec_mii=mii.rec,
+            stage_count=schedule.stage_count,
+            n_ops=loop.size,
+            kernel=schedule.format_kernel(),
+        )
+
+    def pressure(self, request: PressureRequest) -> PressureResponse:
+        """All-model register pressure of one loop, engine-cached."""
+        machine = self._machine(request.machine)
+        job = pressure_job(
+            request.loop.resolve(),
+            machine,
+            swap_estimator=SwapEstimator(
+                request.swap_estimator or self.swap_estimator
+            ),
+        )
+        result, cached = self._run_job(job)
+        return PressureResponse(
+            loop_name=result.loop_name,
+            machine=machine.name,
+            trip_count=result.trip_count,
+            ii=result.ii,
+            mii=result.mii,
+            unified=result.unified,
+            partitioned=result.partitioned,
+            swapped=result.swapped,
+            max_live=result.max_live,
+            cached=cached,
+        )
+
+    def evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
+        """Full spill-pipeline evaluation of one loop, engine-cached."""
+        from repro.core.models import Model
+
+        machine = self._machine(request.machine)
+        job = evaluate_job(
+            request.loop.resolve(),
+            machine,
+            Model(request.model),
+            request.register_budget,
+            swap_estimator=SwapEstimator(
+                request.swap_estimator or self.swap_estimator
+            ),
+            victim_policy=request.victim_policy or self.victim_policy,
+            pressure_strategy=(
+                request.pressure_strategy or self.pressure_strategy
+            ),
+            ii_escalation=request.ii_escalation or self.ii_escalation,
+            max_rounds=request.max_rounds,
+        )
+        result, cached = self._run_job(job)
+        return EvaluateResponse(
+            loop_name=result.loop_name,
+            machine=machine.name,
+            model=request.model,
+            register_budget=request.register_budget,
+            trip_count=result.trip_count,
+            ii=result.ii,
+            mii=result.mii,
+            spilled_values=result.spilled_values,
+            ii_increases=result.ii_increases,
+            fits=result.fits,
+            memory_ops_per_iteration=result.memory_ops_per_iteration,
+            spill_ops_per_iteration=result.spill_ops_per_iteration,
+            memory_bandwidth=result.memory_bandwidth,
+            registers_required=result.registers_required,
+            cycles=result.cycles,
+            traffic_density=result.traffic_density,
+            cached=cached,
+        )
+
+    def sweep(
+        self, request: SweepRequest, echo_progress: bool = False
+    ) -> SweepResponse:
+        """Execute a named grid; aggregates plus the rendered report."""
+        spec = request.to_spec()
+        with self._lock:
+            outcome = run_sweep(
+                spec, engine=self.engine, echo_progress=echo_progress
+            )
+            self.requests_served += 1
+        return SweepResponse(
+            name=spec.name,
+            kind=spec.kind,
+            description=spec.describe(),
+            headers=tuple(outcome_headers(outcome)),
+            rows=tuple(tuple(row) for row in aggregate_rows(outcome)),
+            points=len(outcome.points),
+            elapsed=outcome.elapsed,
+            cache_hits=outcome.cache_stats.get("hits", 0),
+            cache_misses=outcome.cache_stats.get("misses", 0),
+            text=format_outcome(outcome),
+        )
+
+    def experiment(self, request: ExperimentRequest) -> ExperimentResponse:
+        """Run one registry entry; validated params, rendered report."""
+        exp = get_experiment(request.name)
+        params = exp.validate(request.params)
+        with self._lock:
+            start = time.perf_counter()
+            result = exp.runner(engine=self.engine, **params)
+            seconds = time.perf_counter() - start
+            self.requests_served += 1
+        return ExperimentResponse(
+            name=exp.name,
+            kind=exp.kind,
+            title=exp.title,
+            params=params,
+            seconds=seconds,
+            text=exp.format(result),
+        )
+
+    def report(self, request: ReportRequest) -> ReportResponse:
+        """Generate (and optionally write) the reproduction artifact."""
+        # Imported here: repro.report imports the suite runner, which
+        # iterates this package's registry -- runtime-only use keeps the
+        # import graph acyclic.
+        from repro.report.build import generate_report
+        from repro.report.expected import gate_summary
+
+        with self._lock:
+            result = generate_report(
+                n_loops=request.n_loops,
+                spill_loops=request.spill_loops,
+                engine=self.engine,
+                fmt=request.fmt,
+                out_dir=request.out_dir,
+                stamp=request.stamp,
+            )
+            self.requests_served += 1
+        gated, failed = gate_summary(result.deltas)
+        return ReportResponse(
+            ok=result.ok,
+            n_loops=request.n_loops,
+            spill_loops=request.spill_loops,
+            fmt=request.fmt,
+            checks_gated=len(gated),
+            failed_keys=tuple(d.expectation.key for d in failed),
+            summary=result.summary(),
+            path=str(result.path) if result.path is not None else None,
+            text=result.text if request.include_text else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Generic dispatch
+    # ------------------------------------------------------------------
+    _HANDLERS = {
+        ScheduleRequest: schedule,
+        PressureRequest: pressure,
+        EvaluateRequest: evaluate,
+        SweepRequest: sweep,
+        ExperimentRequest: experiment,
+        ReportRequest: report,
+    }
+
+    def submit(self, request: WireMessage) -> WireMessage:
+        """Dispatch any request type to its handler."""
+        handler = self._HANDLERS.get(type(request))
+        if handler is None:
+            raise RequestValidationError(
+                f"unsupported request type {type(request).__name__}"
+            )
+        return handler(self, request)
+
+    def submit_dict(self, data: dict) -> dict:
+        """Wire-form dispatch: dict in, dict out (the serve hot path)."""
+        from repro.api.types import request_from_dict
+
+        return self.submit(request_from_dict(data)).to_dict()
+
+
+__all__ = ["ApiError", "Session"]

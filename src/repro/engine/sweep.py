@@ -341,10 +341,15 @@ def _aggregate_evaluate(outcome: SweepOutcome) -> list[tuple]:
     return rows
 
 
-def format_outcome(outcome: SweepOutcome) -> str:
-    """Human report: aggregate table plus throughput/cache footer."""
+def outcome_headers(outcome: SweepOutcome) -> list[str]:
+    """Column headers matching :func:`aggregate_rows` for this outcome.
+
+    Shared by the text report and the API's structured
+    :class:`~repro.api.types.SweepResponse`, so both always agree on the
+    row shape (including the conditional policy column).
+    """
     if outcome.spec.kind == PRESSURE:
-        headers = [
+        return [
             "machine",
             "seed",
             "loops",
@@ -353,18 +358,23 @@ def format_outcome(outcome: SweepOutcome) -> str:
             "mean swapped",
             "% part <= 32",
         ]
-    else:
-        headers = [
-            "machine",
-            "seed",
-            "model",
-            "regs",
-            "perf vs ideal",
-            "spilled values",
-            "not fitting",
-        ]
-        if len(outcome.spec.victim_policies) > 1:
-            headers.insert(4, "policy")
+    headers = [
+        "machine",
+        "seed",
+        "model",
+        "regs",
+        "perf vs ideal",
+        "spilled values",
+        "not fitting",
+    ]
+    if len(outcome.spec.victim_policies) > 1:
+        headers.insert(4, "policy")
+    return headers
+
+
+def format_outcome(outcome: SweepOutcome) -> str:
+    """Human report: aggregate table plus throughput/cache footer."""
+    headers = outcome_headers(outcome)
     table = format_table(
         headers, aggregate_rows(outcome), title=outcome.spec.describe()
     )
@@ -437,6 +447,7 @@ __all__ = [
     "build_points",
     "format_outcome",
     "named_sweep",
+    "outcome_headers",
     "run_sweep",
     "stderr_progress",
 ]

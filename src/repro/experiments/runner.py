@@ -23,17 +23,9 @@ import argparse
 import time
 from dataclasses import dataclass
 
+from repro.api.registry import get_experiment, suite_sections
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.pool import Engine, serial_engine
-from repro.experiments import (
-    cost,
-    example_loop,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-    table1,
-)
 from repro.workloads.suite import perfect_club_like
 
 
@@ -74,14 +66,10 @@ class SuiteResult:
 
 
 #: Section key -> the driver function that renders its result as text.
+#: Derived from the experiment registry (:mod:`repro.api.registry`) -- the
+#: name is kept as a backward-compatible alias for older call sites.
 SECTION_FORMATTERS = {
-    "example": example_loop.format_report,
-    "table1": table1.format_report,
-    "figure6": figure6.format_report,
-    "figure7": figure7.format_report,
-    "figure8": figure8.format_report,
-    "figure9": figure9.format_report,
-    "cost": cost.format_report,
+    name: get_experiment(name).format for name, _, _ in suite_sections()
 }
 
 
@@ -99,47 +87,13 @@ def run_suite(
     )
     started = time.time()
     sections: list[SectionRun] = []
-
-    def timed(key: str, title: str, fn) -> None:
+    # The sections come from the experiment registry, in registration
+    # order -- the same drivers and titles the historical hard-coded list
+    # carried, so the rendered report is byte-identical.
+    for key, title, section_runner in suite_sections():
         start = time.time()
-        result = fn()
+        result = section_runner(loops, spill_subset, engine)
         sections.append(SectionRun(key, title, time.time() - start, result))
-
-    timed(
-        "example",
-        "Tables 2/3/4 -- example loop",
-        example_loop.run_example,
-    )
-    timed(
-        "table1",
-        "Table 1 -- PxLy allocatable loops",
-        lambda: table1.run_table1(loops, engine=engine),
-    )
-    timed(
-        "figure6",
-        "Figure 6 -- static distributions",
-        lambda: figure6.run_figure6(loops, engine=engine),
-    )
-    timed(
-        "figure7",
-        "Figure 7 -- dynamic distributions",
-        lambda: figure7.run_figure7(loops, engine=engine),
-    )
-    timed(
-        "figure8",
-        "Figure 8 -- performance",
-        lambda: figure8.run_figure8(spill_subset, engine=engine),
-    )
-    timed(
-        "figure9",
-        "Figure 9 -- traffic density",
-        lambda: figure9.run_figure9(spill_subset, engine=engine),
-    )
-    timed(
-        "cost",
-        "Cost model -- Section 3.2",
-        lambda: [cost.run_cost_study(32), cost.run_cost_study(64)],
-    )
     return SuiteResult(
         n_loops=n_loops,
         spill_loops=spill_loops,

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.api.registry import get_experiment
 from repro.engine.pool import Engine
-from repro.experiments.runner import SuiteResult, run_suite
+from repro.experiments.runner import SuiteResult
 from repro.report.document import RENDERERS, Document
 from repro.report.expected import (
     Delta,
@@ -84,7 +85,11 @@ def generate_report(
         raise ValueError(
             f"unknown format {fmt!r}; expected one of {sorted(RENDERERS)}"
         )
-    suite = run_suite(n_loops, spill_loops, engine=engine)
+    # The suite runs through the experiment registry -- the same validated
+    # entry every API/serve/CLI caller uses.
+    suite = get_experiment("suite").run(
+        engine=engine, loops=n_loops, spill_loops=spill_loops
+    )
     deltas = tuple(evaluate_expectations(suite))
     generated_at = (
         datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")

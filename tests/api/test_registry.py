@@ -1,0 +1,167 @@
+"""Registry integrity: discovery, schemas, and the suite-section contract."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    EXPERIMENTS,
+    Experiment,
+    Param,
+    RequestValidationError,
+    UnknownExperimentError,
+    capabilities,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    suite_sections,
+)
+from repro.engine.sweep import NAMED_SWEEPS
+from repro.pipeline.policies import II_ESCALATIONS, SPILL_POLICIES
+
+#: The historical hard-coded suite of ``python -m repro run``: the registry
+#: must serve exactly these sections, in this order, under these titles --
+#: that is what keeps the text report byte-identical across the refactor.
+EXPECTED_SECTIONS = [
+    ("example", "Tables 2/3/4 -- example loop"),
+    ("table1", "Table 1 -- PxLy allocatable loops"),
+    ("figure6", "Figure 6 -- static distributions"),
+    ("figure7", "Figure 7 -- dynamic distributions"),
+    ("figure8", "Figure 8 -- performance"),
+    ("figure9", "Figure 9 -- traffic density"),
+    ("cost", "Cost model -- Section 3.2"),
+]
+
+
+class TestDiscovery:
+    def test_suite_sections_preserve_order_and_titles(self):
+        assert [
+            (name, title) for name, title, _ in suite_sections()
+        ] == EXPECTED_SECTIONS
+
+    def test_every_named_sweep_is_registered(self):
+        registered = {e.name for e in list_experiments(kind="sweep")}
+        assert registered == set(NAMED_SWEEPS)
+
+    def test_suite_entry_exists(self):
+        assert get_experiment("suite").kind == "suite"
+
+    def test_list_filters_by_kind(self):
+        for experiment in list_experiments(kind="experiment"):
+            assert experiment.kind == "experiment"
+        assert list_experiments() == list(EXPERIMENTS.values())
+
+    def test_get_unknown_raises_with_known_names(self):
+        with pytest.raises(UnknownExperimentError, match="figure6"):
+            get_experiment("figure66")
+
+    def test_describe_is_json_serializable(self):
+        for experiment in list_experiments():
+            record = json.loads(json.dumps(experiment.describe()))
+            assert record["name"] == experiment.name
+            assert {p["name"] for p in record["params"]} == {
+                p.name for p in experiment.params
+            }
+
+    def test_capabilities_reflect_live_registries(self):
+        caps = capabilities()
+        assert caps["spill_policies"] == sorted(SPILL_POLICIES)
+        assert caps["ii_escalations"] == sorted(II_ESCALATIONS)
+        assert caps["sweeps"] == sorted(NAMED_SWEEPS)
+        assert {e["name"] for e in caps["experiments"]} == set(EXPERIMENTS)
+        json.dumps(caps)  # the serve discovery endpoint ships this verbatim
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(get_experiment("figure6"))
+
+
+class TestParamSchemas:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(RequestValidationError, match="unknown param"):
+            get_experiment("figure6").validate({"loopz": 3})
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(RequestValidationError, match="integer"):
+            get_experiment("figure6").validate({"loops": "many"})
+        with pytest.raises(RequestValidationError, match="integer"):
+            get_experiment("figure6").validate({"loops": True})
+
+    def test_minimum_enforced(self):
+        with pytest.raises(RequestValidationError, match=">= 1"):
+            get_experiment("figure6").validate({"loops": 0})
+
+    def test_maximum_enforced(self):
+        with pytest.raises(RequestValidationError, match="<="):
+            get_experiment("figure6").validate({"loops": 10**8})
+        with pytest.raises(RequestValidationError, match="<="):
+            get_experiment("suite").validate({"spill_loops": 10**8})
+
+    def test_choices_enforced(self):
+        with pytest.raises(RequestValidationError, match="one of"):
+            get_experiment("figure8").validate({"victim_policy": "dice"})
+
+    def test_defaults_filled(self):
+        validated = get_experiment("figure8").validate({})
+        assert validated["loops"] == 200
+        assert validated["victim_policy"] == "longest"
+
+    def test_nullable_param_accepts_none(self):
+        validated = get_experiment("suite").validate({"spill_loops": None})
+        assert validated["spill_loops"] is None
+
+    def test_non_nullable_param_rejects_none(self):
+        with pytest.raises(RequestValidationError, match="null"):
+            get_experiment("suite").validate({"loops": None})
+
+    def test_param_describe_carries_constraints(self):
+        param = Param(
+            "p", "str", default="a", choices=("a", "b"), help="pick one"
+        )
+        record = param.describe()
+        assert record["choices"] == ["a", "b"]
+        assert param.coerce("a") == "a"
+        with pytest.raises(RequestValidationError):
+            param.coerce("c")
+
+
+class TestExecution:
+    def test_experiment_runs_and_formats_at_tiny_scale(self):
+        experiment = get_experiment("table1")
+        result = experiment.run(loops=6)
+        text = experiment.format(result)
+        assert "P2L6" in text
+
+    def test_sweep_entry_runs_with_overrides(self):
+        experiment = get_experiment("rf-size")
+        outcome = experiment.run(loops=3, victim_policy="first")
+        assert outcome.spec.n_loops == 3
+        assert outcome.spec.victim_policies == ("first",)
+        assert outcome.points
+
+    def test_pressure_sweep_entry_has_no_spill_params(self):
+        names = {p.name for p in get_experiment("pressure").params}
+        assert "victim_policy" not in names
+        assert "ii_escalation" not in names
+
+
+def test_custom_registration_round_trip():
+    experiment = Experiment(
+        name="__test_probe__",
+        kind="experiment",
+        title="probe",
+        description="registered by the test suite",
+        params=(Param("n", "int", default=1, minimum=1),),
+        runner=lambda engine=None, n=1: n * 2,
+        formatter=lambda result: f"result={result}",
+    )
+    register_experiment(experiment)
+    try:
+        assert get_experiment("__test_probe__").run(n=3) == 6
+        assert experiment.format(6) == "result=6"
+        # Registered experiments surface in discovery immediately.
+        assert "__test_probe__" in {
+            e["name"] for e in capabilities()["experiments"]
+        }
+    finally:
+        del EXPERIMENTS["__test_probe__"]

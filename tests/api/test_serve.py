@@ -1,0 +1,216 @@
+"""The serve front-end: routes, envelopes, shared cache, shutdown."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import API_SCHEMA_VERSION, Session
+from repro.api.serve import MAX_BODY_BYTES, ReproServer
+
+
+@pytest.fixture()
+def server():
+    session = Session()
+    instance = ReproServer(("127.0.0.1", 0), session)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    thread.join(timeout=10)
+    instance.server_close()
+    session.close()
+
+
+def _request(server, method, path, body=None, raw=None):
+    """Returns ``(status, decoded_envelope)`` without raising on 4xx/5xx."""
+    data = raw
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+PRESSURE = {"loop": {"kind": "kernel", "name": "daxpy"}}
+EVALUATE = {
+    "loop": {"kind": "kernel", "name": "hydro_fragment"},
+    "model": "swapped",
+    "register_budget": 16,
+}
+
+
+class TestRoutes:
+    def test_health_reports_serving_and_counters(self, server):
+        status, body = _request(server, "GET", "/v1/health")
+        assert status == 200 and body["ok"]
+        assert body["result"]["status"] == "serving"
+        assert body["result"]["schema_version"] == API_SCHEMA_VERSION
+        assert "cache" in body["result"]
+
+    def test_discovery_endpoints(self, server):
+        status, body = _request(server, "GET", "/v1/experiments")
+        assert status == 200
+        assert {e["name"] for e in body["result"]} >= {"figure6", "suite"}
+        status, body = _request(server, "GET", "/v1/capabilities")
+        assert status == 200
+        assert "spill_policies" in body["result"]
+
+    def test_pressure_round_trip(self, server):
+        status, body = _request(server, "POST", "/v1/pressure", PRESSURE)
+        assert status == 200 and body["ok"]
+        result = body["result"]
+        assert result["type"] == "pressure.response"
+        assert result["unified"] >= result["partitioned"] >= 1
+
+    def test_experiment_endpoint(self, server):
+        status, body = _request(
+            server, "POST", "/v1/experiment",
+            {"name": "cost", "params": {"registers": 32}},
+        )
+        assert status == 200
+        assert "organization" in body["result"]["text"]
+
+    def test_sweep_endpoint(self, server):
+        status, body = _request(
+            server, "POST", "/v1/sweep", {"name": "rf-size", "n_loops": 3}
+        )
+        assert status == 200
+        assert body["result"]["points"] > 0
+        assert len(body["result"]["headers"]) == len(
+            body["result"]["rows"][0]
+        )
+
+
+class TestErrorEnvelopes:
+    def test_unknown_route_is_404_envelope(self, server):
+        status, body = _request(server, "POST", "/v1/teleport", {})
+        assert status == 404 and not body["ok"]
+        assert body["error"]["type"] == "NotFound"
+        status, body = _request(server, "GET", "/v1/teleport")
+        assert status == 404 and not body["ok"]
+
+    def test_unknown_schema_version_is_400(self, server):
+        payload = dict(PRESSURE, schema_version=99)
+        status, body = _request(server, "POST", "/v1/pressure", payload)
+        assert status == 400
+        assert body["error"]["type"] == "SchemaVersionError"
+        assert "99" in body["error"]["message"]
+
+    def test_validation_error_is_400(self, server):
+        payload = dict(EVALUATE, register_budget=0)
+        status, body = _request(server, "POST", "/v1/evaluate", payload)
+        assert status == 400
+        assert body["error"]["type"] == "RequestValidationError"
+
+    def test_unknown_experiment_is_404(self, server):
+        status, body = _request(
+            server, "POST", "/v1/experiment", {"name": "figure0"}
+        )
+        assert status == 404
+        assert body["error"]["type"] == "UnknownExperimentError"
+
+    def test_malformed_json_is_400_not_a_trace(self, server):
+        status, body = _request(
+            server, "POST", "/v1/pressure", raw=b"{not json"
+        )
+        assert status == 400
+        assert "not JSON" in body["error"]["message"]
+
+    def test_non_object_body_is_400(self, server):
+        status, body = _request(server, "POST", "/v1/pressure", body=[1, 2])
+        assert status == 400
+
+    def test_report_out_dir_rejected_over_the_wire(self, server):
+        """A network peer must not write files with server privileges."""
+        status, body = _request(
+            server, "POST", "/v1/report",
+            {"n_loops": 1, "out_dir": "/tmp/owned"},
+        )
+        assert status == 400
+        assert "out_dir" in body["error"]["message"]
+        assert "include_text" in body["error"]["message"]
+
+    def test_negative_content_length_is_400_not_a_hang(self, server):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/pressure HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Length: -1\r\n"
+                b"\r\n"
+            )
+            head = sock.recv(64)
+        assert b"400" in head.split(b"\r\n", 1)[0]
+
+    def test_oversized_body_is_400(self, server):
+        status, body = _request(
+            server,
+            "POST",
+            "/v1/pressure",
+            raw=b" " * (MAX_BODY_BYTES + 1),
+        )
+        assert status == 400
+        assert "exceeds" in body["error"]["message"]
+
+
+class TestSharedCache:
+    def test_second_identical_request_is_a_cache_hit(self, server):
+        _, first = _request(server, "POST", "/v1/evaluate", EVALUATE)
+        _, second = _request(server, "POST", "/v1/evaluate", EVALUATE)
+        assert first["result"]["cached"] is False
+        assert second["result"]["cached"] is True
+        assert first["result"]["ii"] == second["result"]["ii"]
+
+    def test_concurrent_clients_share_one_cache(self, server):
+        """Two clients hammering identical points: one set of evaluations."""
+        def client(_):
+            return [
+                _request(server, "POST", "/v1/evaluate", EVALUATE)[1][
+                    "result"
+                ]
+                for _ in range(3)
+            ]
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            streams = list(pool.map(client, range(2)))
+        results = [r for stream in streams for r in stream]
+        assert len({r["ii"] for r in results}) == 1
+        # 6 requests for one point: exactly one computed it.
+        assert sum(not r["cached"] for r in results) == 1
+        _, health = _request(server, "GET", "/v1/health")
+        assert health["result"]["cache"]["hits"] >= 5
+        assert health["result"]["requests_served"] >= 6
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_loop(self):
+        session = Session()
+        instance = ReproServer(("127.0.0.1", 0), session)
+        thread = threading.Thread(
+            target=instance.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            status, body = _request(instance, "POST", "/v1/shutdown", {})
+            assert status == 200
+            assert body["result"]["status"] == "shutting down"
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "serve loop still running"
+        finally:
+            instance.server_close()
+            session.close()

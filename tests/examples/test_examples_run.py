@@ -20,6 +20,8 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 #: Scripts taking a suite size get the smallest size that exercises the
 #: full flow; everything else must work argument-free.
 TINY_ARGS: dict[str, tuple[str, ...]] = {
+    "api_client.py": ("8",),
+    "serve_client.py": ("8",),
     "quickstart.py": (),
     "custom_loop.py": (),
     "simulate_kernel.py": (),

@@ -41,6 +41,8 @@ class TestMainRejectsBadCounts:
             ["run", "--workers", "-1"],
             ["sweep", "--loops", "-3"],
             ["sweep", "--workers", "-2"],
+            ["serve", "--port", "-1"],
+            ["serve", "--workers", "-1"],
             ["--loops", "0"],  # backward-compat implicit "run"
         ],
     )
@@ -56,3 +58,11 @@ class TestMainRejectsBadCounts:
             main(["sweep", "--policy", "nope"])
         assert excinfo.value.code == 2
         assert "--policy" in capsys.readouterr().err
+
+    def test_pressure_sweep_policy_error_names_the_flags(self, capsys):
+        """The facade's error names wire fields; the CLI must translate
+        back to the flags the user actually typed."""
+        assert main(["sweep", "--name", "pressure", "--policy", "longest"]) == 2
+        err = capsys.readouterr().err
+        assert "--policy/--escalation" in err
+        assert "victim_policies" not in err
