@@ -14,6 +14,13 @@ cache (their bookkeeping is not thread-safe); parallelism inside one
 request still fans out over the engine's worker processes.  The lock is
 held only around core evaluation, so request validation and response
 serialization stay concurrent.
+
+Every engine-backed request (evaluate, pressure, sweep, experiment) rides
+the engine's grid-batched execution under the default kernel tier: cache
+misses are grouped per loop and evaluated against one shared
+:class:`repro.kernel.batch.LoopChain`, so an experiment's sweep of models
+and budgets over one loop costs one schedule, not one per point.  Response
+payloads are bit-identical to per-point execution.
 """
 
 from __future__ import annotations

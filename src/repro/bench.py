@@ -8,7 +8,10 @@ hardware-independent ratio the CI regression gate checks.
 Scenarios:
 
 * ``cold_kernel``  -- the full spill-evaluation grid on a fresh artifact
-  store with the array kernels enabled (the production path);
+  store with the per-point array kernels (one pipeline run per point);
+* ``cold_batch``   -- the same cold grid through the engine's grid-batched
+  path (``REPRO_KERNELS=batch``): jobs grouped per loop, each group walking
+  one shared :class:`repro.kernel.batch.LoopChain`;
 * ``cold_legacy``  -- the same grid on the dict-based reference
   implementations (``REPRO_KERNELS=0`` semantics);
 * ``warm``         -- the grid repeated against a primed store (pure
@@ -18,9 +21,12 @@ Scenarios:
   ``--workers`` > 1, the serial engine otherwise).
 
 The regression gate (``--baseline`` / ``--max-regression``) compares the
-``kernel_speedup`` ratio (``cold_legacy / cold_kernel``), not wall seconds:
-wall time varies with the host, while the speedup of the same grid on the
-same interpreter is a property of the code.  See ``docs/performance.md``.
+hardware-independent ratios -- ``kernel_speedup`` (``cold_legacy /
+cold_kernel``) and ``batch_speedup`` (``cold_kernel / cold_batch``) -- not
+wall seconds: wall time varies with the host, while the speedup of the same
+grid on the same interpreter is a property of the code.  Ratios the
+baseline file predates are reported as notes, never spurious failures.
+See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -50,7 +56,7 @@ BUDGETS = (32, 64)
 MODELS = (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
 
 #: Scenario registry order is the report order.
-SCENARIOS = ("cold_kernel", "cold_legacy", "warm", "dispatch")
+SCENARIOS = ("cold_kernel", "cold_batch", "cold_legacy", "warm", "dispatch")
 
 
 def bench_grid(loops, machine):
@@ -111,12 +117,26 @@ def run_bench(
         }
 
     if "cold_kernel" in scenarios:
-        with kernel.use_kernels(True):
+        # Tier "1" pins the per-point measurement: _run_grid evaluates one
+        # pipeline run per point either way, but the label must not drift
+        # if that ever changes.
+        with kernel.use_kernels("1"):
             seconds, points = _timed(
                 lambda: _run_grid(loops, machine, ArtifactStore(8192)),
                 repeats,
             )
         record("cold_kernel", seconds, points)
+    if "cold_batch" in scenarios:
+        jobs = [
+            evaluate_job(loop, mach, model, budget)
+            for loop, mach, model, budget in bench_grid(loops, machine)
+        ]
+        with kernel.use_kernels("batch"):
+            seconds, points = _timed(
+                lambda: len(run_jobs(jobs, workers=0, cache=None)),
+                repeats,
+            )
+        record("cold_batch", seconds, points)
     if "cold_legacy" in scenarios:
         with kernel.use_kernels(False):
             seconds, points = _timed(
@@ -168,6 +188,13 @@ def run_bench(
         snapshot["ratios"]["kernel_speedup"] = (
             round(results["cold_legacy"]["seconds"] / cold, 2) if cold else 0.0
         )
+    if "cold_kernel" in results and "cold_batch" in results:
+        batch = results["cold_batch"]["seconds"]
+        snapshot["ratios"]["batch_speedup"] = (
+            round(results["cold_kernel"]["seconds"] / batch, 2)
+            if batch
+            else 0.0
+        )
     if "cold_kernel" in results and "warm" in results:
         warm = results["warm"]["seconds"]
         snapshot["ratios"]["warm_speedup"] = (
@@ -206,7 +233,11 @@ def check_regression(
 
     Returns a list of failure messages (empty = pass).  Only the
     hardware-independent ratios are gated; wall seconds are reported for
-    context but never compared across hosts.
+    context but never compared across hosts.  Ratios and scenarios the
+    baseline file does not know about are *not* failures -- they surface
+    through :func:`baseline_gaps` so an older baseline reports a clear
+    note instead of crashing or spuriously failing when a new scenario
+    lands.
     """
     baseline = json.loads(Path(baseline_path).read_text())
     failures = []
@@ -235,6 +266,32 @@ def check_regression(
     return failures
 
 
+def baseline_gaps(snapshot: dict, baseline_path: str | Path) -> list[str]:
+    """Scenarios/ratios the current run produces but the baseline lacks.
+
+    These cannot be gated (there is no reference value) and must never
+    crash the gate or fail it spuriously; the CLI prints them as notes so
+    a stale baseline is visible and gets regenerated.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    gaps = []
+    base_scenarios = baseline.get("scenarios") or {}
+    for name in (snapshot.get("scenarios") or {}):
+        if name not in base_scenarios:
+            gaps.append(
+                f"scenario {name!r} is not in the baseline; regenerate it "
+                f"to cover the new measurement"
+            )
+    base_ratios = baseline.get("ratios") or {}
+    for name, current in (snapshot.get("ratios") or {}).items():
+        if name not in base_ratios:
+            gaps.append(
+                f"ratio {name!r} ({current}x) has no baseline reference "
+                f"and is not gated"
+            )
+    return gaps
+
+
 def main(args) -> int:
     """CLI entry (wired by :mod:`repro.__main__`)."""
     scenarios = tuple(args.scenario) if args.scenario else SCENARIOS
@@ -249,6 +306,8 @@ def main(args) -> int:
         Path(args.json).write_text(json.dumps(snapshot, indent=2) + "\n")
         print(f"wrote {args.json}")
     if args.baseline:
+        for gap in baseline_gaps(snapshot, args.baseline):
+            print(f"bench note: {gap}")
         failures = check_regression(
             snapshot, args.baseline, args.max_regression
         )
@@ -268,6 +327,7 @@ __all__ = [
     "LATENCY",
     "MODELS",
     "SCENARIOS",
+    "baseline_gaps",
     "bench_grid",
     "check_regression",
     "format_snapshot",

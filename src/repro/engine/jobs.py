@@ -27,10 +27,12 @@ import hashlib
 from dataclasses import asdict, dataclass
 from functools import cached_property, lru_cache
 from pathlib import Path
+from typing import Sequence
 
 from repro.core.models import Model
 from repro.core.swapping import SwapEstimator
 from repro.ir.loop import Loop
+from repro.kernel import batch as kbatch
 from repro.machine.config import MachineConfig
 from repro.pipeline.fingerprint import (
     digest as _digest,
@@ -317,6 +319,86 @@ def execute_job(job: EvalJob) -> JobResult:
     )
 
 
+def batch_key(job: EvalJob) -> tuple[str, str, str, str, str]:
+    """Grouping key of the batch planner: jobs sharing it share a chain.
+
+    These are the same content fingerprints that key the pipeline's
+    ``ArtifactStore`` and the job cache (memoized per object, so a grid
+    derives each loop's hash once, not once per point).  Model, budget,
+    estimator and trip count are deliberately absent: they vary *within*
+    a chain's walks.  Structurally identical loops with different names
+    share one chain; :func:`repro.engine.pool.run_jobs` relabels results.
+    """
+    return (
+        graph_fingerprint(job.loop.graph),
+        machine_fingerprint(job.machine),
+        job.victim_policy,
+        job.pressure_strategy,
+        job.ii_escalation,
+    )
+
+
+def execute_batch(jobs: Sequence[EvalJob]) -> list[JobResult]:
+    """Execute one :func:`batch_key` group against one shared chain.
+
+    The schedule-stage artifacts (MII, modulo schedule, lifetimes, live
+    profiles) are computed once per chain *state* and shared by every
+    (model, budget) walk -- see :mod:`repro.kernel.batch`.  Groups whose
+    victim policy has no array implementation (custom registered policies
+    interrogate ``Schedule`` dataclasses) fall back to per-job execution,
+    bit-identical by construction.
+    """
+    first = jobs[0]
+    if not kbatch.supports(first.victim_policy, first.pressure_strategy):
+        return [execute_job(job) for job in jobs]
+    chain = kbatch.LoopChain(
+        first.loop.graph,
+        first.machine,
+        victim_policy=first.victim_policy,
+        pressure_strategy=first.pressure_strategy,
+        ii_escalation=first.ii_escalation,
+    )
+    results: list[JobResult] = []
+    for job in jobs:
+        if job.kind == PRESSURE:
+            pressure = chain.pressure(SwapEstimator(job.swap_estimator))
+            results.append(
+                PressureResult(
+                    loop_name=job.loop.name,
+                    trip_count=job.loop.trip_count,
+                    ii=pressure.ii,
+                    mii=pressure.mii,
+                    unified=pressure.unified,
+                    partitioned=pressure.partitioned,
+                    swapped=pressure.swapped,
+                    max_live=pressure.max_live,
+                )
+            )
+        else:
+            evaluation = chain.evaluate(
+                Model(job.model),
+                job.register_budget,
+                SwapEstimator(job.swap_estimator),
+                max_rounds=job.max_rounds,
+            )
+            results.append(
+                EvalResult(
+                    loop_name=job.loop.name,
+                    trip_count=job.loop.trip_count,
+                    ii=evaluation.ii,
+                    mii=evaluation.mii,
+                    spilled_values=evaluation.spilled_values,
+                    ii_increases=evaluation.ii_increases,
+                    fits=evaluation.fits,
+                    memory_ops_per_iteration=evaluation.memory_ops,
+                    spill_ops_per_iteration=evaluation.spill_ops,
+                    memory_bandwidth=job.machine.memory_bandwidth,
+                    registers_required=evaluation.registers,
+                )
+            )
+    return results
+
+
 def result_to_dict(result: JobResult) -> dict:
     """JSON-serializable form for the on-disk cache."""
     data = asdict(result)
@@ -343,7 +425,9 @@ __all__ = [
     "JobResult",
     "PRESSURE",
     "PressureResult",
+    "batch_key",
     "evaluate_job",
+    "execute_batch",
     "execute_job",
     "graph_fingerprint",
     "loop_fingerprint",

@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 from dataclasses import replace as _replace
 
+from repro import kernel
 from repro.analysis.performance import ModelRun
 from repro.core.models import Model
 from repro.core.swapping import SwapEstimator
@@ -31,7 +32,9 @@ from repro.engine.jobs import (
     EvalResult,
     JobResult,
     PressureResult,
+    batch_key,
     evaluate_job,
+    execute_batch,
     execute_job,
     pressure_job,
 )
@@ -61,6 +64,60 @@ def _execute_chunk(
     across IPC boundaries.  Results return as one message per chunk, too.
     """
     return [(index, execute_job(job)) for index, job in chunk]
+
+
+def _group_misses(
+    misses: list[tuple[int, EvalJob]],
+) -> list[list[tuple[int, EvalJob]]]:
+    """Group misses by :func:`batch_key`, preserving first-seen order.
+
+    Each group is one loop's (sub)grid: every (model, budget, estimator,
+    kind) point of one graph x machine x policy-knob combination, evaluated
+    against one shared :class:`repro.kernel.batch.LoopChain`.
+    """
+    groups: dict[tuple, list[tuple[int, EvalJob]]] = {}
+    for index, job in misses:
+        groups.setdefault(batch_key(job), []).append((index, job))
+    return list(groups.values())
+
+
+def _batch_chunks(
+    misses: list[tuple[int, EvalJob]], chunksize: int
+) -> list[list[list[tuple[int, EvalJob]]]]:
+    """Pack whole batch groups into chunks of at least ``chunksize`` jobs.
+
+    Groups are never split across workers (a split group would recompute
+    the shared chain on both sides), so a chunk is a list of groups and
+    the effective chunk size can exceed ``chunksize`` by one group.
+    """
+    chunks: list[list[list[tuple[int, EvalJob]]]] = []
+    current: list[list[tuple[int, EvalJob]]] = []
+    count = 0
+    for group in _group_misses(misses):
+        current.append(group)
+        count += len(group)
+        if count >= chunksize:
+            chunks.append(current)
+            current = []
+            count = 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _execute_batch_chunk(
+    chunk: list[list[tuple[int, EvalJob]]],
+) -> list[tuple[int, JobResult]]:
+    """Worker-side twin of :func:`_execute_chunk` for grouped dispatch:
+    one shared chain per group, one IPC round per chunk of groups."""
+    out: list[tuple[int, JobResult]] = []
+    for group in chunk:
+        results = execute_batch([job for _index, job in group])
+        out.extend(
+            (index, result)
+            for (index, _job), result in zip(group, results)
+        )
+    return out
 
 
 def _relabel(job: EvalJob, result: JobResult) -> JobResult:
@@ -135,29 +192,41 @@ def run_jobs(
         if progress is not None:
             progress(done, total)
 
+    batched = kernel.batch_enabled()
     # A one-worker pool would only add IPC overhead; run in-process.
     if workers <= 1 or len(misses) <= 1:
-        for index, job in misses:
-            finish(index, job, execute_job(job))
+        if batched and misses:
+            for group in _group_misses(misses):
+                group_results = execute_batch([job for _i, job in group])
+                for (index, job), result in zip(group, group_results):
+                    finish(index, job, result)
+        else:
+            for index, job in misses:
+                finish(index, job, execute_job(job))
     else:
         workers = min(workers, len(misses))
         if chunksize is None:
             chunksize = max(1, len(misses) // (workers * 4))
         # One IPC round per chunk of jobs, not per job: see _execute_chunk.
-        chunks = [
-            misses[lo : lo + chunksize]
-            for lo in range(0, len(misses), chunksize)
-        ]
+        # Under the batch tier a chunk is whole per-loop groups instead of
+        # a flat job slice, so each loop's chain is built exactly once.
+        if batched:
+            chunks = _batch_chunks(misses, chunksize)
+            executor = _execute_batch_chunk
+        else:
+            chunks = [
+                misses[lo : lo + chunksize]
+                for lo in range(0, len(misses), chunksize)
+            ]
+            executor = _execute_chunk
         shared = pool_factory() if pool_factory is not None else None
         if shared is not None:
-            for batch in shared.imap_unordered(_execute_chunk, chunks):
+            for batch in shared.imap_unordered(executor, chunks):
                 for index, result in batch:
                     finish(index, jobs[index], result)
         else:
             with multiprocessing.Pool(processes=workers) as ephemeral:
-                for batch in ephemeral.imap_unordered(
-                    _execute_chunk, chunks
-                ):
+                for batch in ephemeral.imap_unordered(executor, chunks):
                     for index, result in batch:
                         finish(index, jobs[index], result)
 

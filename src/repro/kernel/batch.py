@@ -1,0 +1,762 @@
+"""Grid-batched evaluation: one spill chain per loop serves a whole sweep.
+
+The paper's experiments are grids -- every figure sweeps loops x register
+budgets x file models -- yet the per-point pipeline re-derives the shared
+schedule-stage work for each point.  The key structural fact this module
+exploits: for a fixed (dependence graph, machine, victim policy, pressure
+strategy, II escalation), the *state sequence* of the Section 5.4 loop is
+identical for every (model, budget) point.  Each round either spills the
+policy's victim (a model-independent choice) or reschedules at the escalated
+II; the model and budget only decide *where* a walk exits the sequence.
+
+So a whole grid evaluates against one lazily-grown chain of :class:`_Node`
+states.  Each node computes its schedule-stage artifacts exactly once, as
+flat arrays shared by every walk that passes through it:
+
+* the MII and the IMS schedule search (:mod:`repro.kernel.modulo`), without
+  materializing ``Schedule``/``Placement`` dataclasses;
+* lifetime bounds and the difference-array live profile
+  (:mod:`repro.kernel.lifetimes`), reused in bulk as the MaxLive lower
+  bounds of all three finite models;
+* per-model exact requirements over shared first-fit bitmask state
+  (:mod:`repro.kernel.firstfit` / :mod:`repro.kernel.dual`), memoized per
+  (model[, estimator]) so adjacent sweep points that differ only in budget
+  or model re-evaluate incrementally instead of from scratch.
+
+Walks are further gated by lower bounds: while ``MaxLive > budget`` the
+exact first-fit allocation cannot fit either, so the expensive allocation is
+skipped entirely on the interior of a spill walk and only computed where a
+halt decision actually needs it (MaxLive is a lower bound on any legal
+rotating allocation; the per-cluster/global peaks bound the dual models).
+
+Every number produced here is pinned bit-identical to the per-point kernels
+and the dict reference by the differential suite
+(``tests/properties/test_batch_differential.py``, ``tests/engine/test_batch.py``);
+the chain is the same state machine, traversed once instead of per point.
+
+This module deliberately knows nothing about engine jobs: grouping (by the
+same content fingerprints that key the pipeline ``ArtifactStore``) and the
+result dataclasses live in :mod:`repro.engine.jobs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models import Model
+from repro.core.swapping import SwapEstimator
+from repro.ir.ddg import DependenceGraph
+from repro.ir.operation import OpType
+from repro.kernel import dual as kdual
+from repro.kernel import modulo as kmodulo
+from repro.kernel.firstfit import BitOccupancy, first_fit_shift
+from repro.kernel.lifetimes import lifetime_bounds, live_profile_spans
+from repro.kernel.loop import LoopArrays, lower_loop
+from repro.kernel.swap import greedy_swap_search
+from repro.machine.config import MachineConfig
+from repro.pipeline.policies import get_escalation
+from repro.sched.modulo import SchedulingFailure
+
+#: Victim policies with an array-native implementation below.  Custom
+#: registered policies are arbitrary Python objects interrogating Schedule
+#: dataclasses, so groups naming one fall back to per-job execution.
+ARRAY_POLICIES = frozenset(
+    ("longest", "most_registers", "first", "most_consumers", "least_traffic")
+)
+
+
+def supports(victim_policy: str, pressure_strategy: str) -> bool:
+    """Whether a job group with these knobs can ride a :class:`LoopChain`.
+
+    Escalations are not restricted: the strategy object is called directly,
+    so custom registered escalations batch fine.  ``increase_ii`` never
+    selects a victim, so any policy name batches under it.
+    """
+    if pressure_strategy == "increase_ii":
+        return True
+    return pressure_strategy == "spill" and victim_policy in ARRAY_POLICIES
+
+
+# ----------------------------------------------------------------------
+# Array MII (same bounds as repro.sched.mii, on the lowered arrays)
+# ----------------------------------------------------------------------
+def _positive_cycle(n: int, edges: list, ii: int) -> bool:
+    """Bellman-Ford positive-cycle test on weights ``delay - II * distance``."""
+    dist = [0] * n
+    for _ in range(n):
+        changed = False
+        for src, dst, delay, distance in edges:
+            weight = delay - ii * distance
+            if dist[src] + weight > dist[dst]:
+                dist[dst] = dist[src] + weight
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def array_mii(la: LoopArrays) -> int:
+    """``max(ResMII, RecMII)`` of lowered arrays; equals ``minimum_ii``."""
+    counts = la.ma.counts
+    uses = [0] * la.ma.n_pools
+    for p in la.pool:
+        uses[p] += 1
+    res = 1
+    for p, n_uses in enumerate(uses):
+        if n_uses:
+            bound = -(-n_uses // counts[p])
+            if bound > res:
+                res = bound
+
+    edges = list(zip(la.e_src, la.e_dst, la.e_delay, la.e_dist))
+    if not any(dist > 0 for *_, dist in edges):
+        return res  # acyclic: RecMII = 1 <= ResMII
+    lo, hi = 1, max(1, sum(la.e_delay))
+    while _positive_cycle(la.n, edges, hi):
+        hi *= 2
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _positive_cycle(la.n, edges, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return res if res > lo else lo
+
+
+_UNSET = object()
+
+
+def _spill_arrays(
+    la: LoopArrays,
+    extra: list[tuple[int, int, int, int]],
+    k: int,
+    store_pool: int,
+    load_pool: int,
+    store_lat: int,
+    load_lat: int,
+) -> tuple[LoopArrays, list[tuple[int, int, int, int]], int]:
+    """Spill value slot ``k`` directly in array space.
+
+    The graph transform of :func:`repro.spill.spiller.spill_value` is pure
+    appends plus consumer rewiring, so the child's :class:`LoopArrays` is
+    derived from the parent's without materializing (or re-lowering) a
+    :class:`DependenceGraph`: a store consuming the victim, one load per
+    distinct ``(consumer, distance)``, every former use redirected to its
+    load at distance 0, and a memory edge per load carrying the original
+    distance.  Untouched per-op lists are shared with the parent (they are
+    never mutated after construction); edge arrays are regenerated from the
+    rewired adjacency -- grouped by producer rather than in operand order,
+    which is immaterial (heights/MII are fixpoints and the scheduler reduces
+    over edge lists with max/min only).  Returns the child arrays, its
+    explicit edges, and the number of loads added.
+    """
+    v = la.values[k]
+    uses = la.cons[v]
+    n_old = la.n
+    store = n_old
+    # One load per distinct (consumer, distance), in first-use order; a
+    # consumer using the value twice at one distance shares a load (and
+    # contributes two rewired uses to it).
+    load_slot: dict[tuple[int, int], int] = {}
+    load_cons: list[list[tuple[int, int]]] = []
+    load_dist: list[int] = []
+    for c, d in uses:
+        j = load_slot.get((c, d))
+        if j is None:
+            j = len(load_cons)
+            load_slot[(c, d)] = j
+            load_cons.append([])
+            load_dist.append(d)
+        load_cons[j].append((c, 0))
+    n_loads = len(load_cons)
+    n = n_old + 1 + n_loads
+
+    ids = la.ids + [la.ids[-1] + 1 + t for t in range(1 + n_loads)]
+    index = dict(la.index)
+    for t in range(1 + n_loads):
+        index[ids[n_old + t]] = n_old + t
+    pool = la.pool + [store_pool] + [load_pool] * n_loads
+    latency = la.latency + [store_lat] + [load_lat] * n_loads
+    defines = la.defines + [False] + [True] * n_loads
+    values = la.values + list(range(n_old + 1, n))
+    cons = list(la.cons)
+    cons[v] = [(store, 0)]
+    cons.append([])  # the store defines no value
+    cons.extend(load_cons)
+
+    e_src: list[int] = []
+    e_dst: list[int] = []
+    e_delay: list[int] = []
+    e_dist: list[int] = []
+    for u in range(n):
+        lu = latency[u]
+        for c, d in cons[u]:
+            e_src.append(u)
+            e_dst.append(c)
+            e_delay.append(lu)
+            e_dist.append(d)
+    new_extra = extra + [
+        (store, n_old + 1 + j, 1, load_dist[j]) for j in range(n_loads)
+    ]
+    for src, dst, delay, d in new_extra:
+        e_src.append(src)
+        e_dst.append(dst)
+        e_delay.append(delay)
+        e_dist.append(d)
+
+    in_edges: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+    out_edges: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+    for src, dst, delay, d in zip(e_src, e_dst, e_delay, e_dist):
+        in_edges[dst].append((src, delay, d))
+        out_edges[src].append((dst, delay, d))
+
+    child = LoopArrays(
+        ma=la.ma,
+        n=n,
+        ids=ids,
+        index=index,
+        pool=pool,
+        latency=latency,
+        defines=defines,
+        values=values,
+        cons=cons,
+        e_src=e_src,
+        e_dst=e_dst,
+        e_delay=e_delay,
+        e_dist=e_dist,
+        in_edges=in_edges,
+        out_edges=out_edges,
+    )
+    return child, new_extra, n_loads
+
+
+class _Node:
+    """One state ``(graph, min II)`` of a loop's universal spill chain.
+
+    Every artifact is lazy and computed at most once per node, no matter how
+    many (model, budget) walks traverse it.  Only the root carries an actual
+    :class:`DependenceGraph` (via the chain); spill children live entirely
+    in array space (:func:`_spill_arrays`), and an escalation child shares
+    the parent's lowered arrays and MII outright (the graph is unchanged;
+    only the scheduling floor moves).
+    """
+
+    __slots__ = (
+        "chain",
+        "min_ii",
+        "mem_ops",
+        "spill_ops",
+        "is_spill",
+        "is_spill_store",
+        "_la",
+        "_extra",
+        "_mii",
+        "_sched",
+        "_bounds",
+        "_maxlive",
+        "_asg",
+        "_victim",
+        "_spill_child",
+        "_esc_child",
+        "_exact",
+        "_dual_lb",
+    )
+
+    def __init__(
+        self,
+        chain: "LoopChain",
+        min_ii: int,
+        mem_ops: int,
+        spill_ops: int,
+        is_spill: list[bool],
+        is_spill_store: list[bool],
+        la: LoopArrays | None = None,
+        mii: int | None = None,
+        extra: list[tuple[int, int, int, int]] | None = None,
+    ):
+        self.chain = chain
+        self.min_ii = min_ii
+        #: Memory/spill op counts per iteration, maintained incrementally:
+        #: one spill adds one store plus one load per distinct (consumer,
+        #: distance), all of them spill memory ops.
+        self.mem_ops = mem_ops
+        self.spill_ops = spill_ops
+        #: Per op index: ``is_spill`` and ``is_spill and STORE`` flags.
+        self.is_spill = is_spill
+        self.is_spill_store = is_spill_store
+        self._la = la
+        self._extra = extra
+        self._mii = mii
+        self._sched: tuple[list[int], list[int], int] | None = None
+        self._bounds: tuple[list[int], list[int]] | None = None
+        self._maxlive: int | None = None
+        self._asg: list[int] | None = None
+        self._victim = _UNSET
+        self._spill_child: "_Node | None" = None
+        self._esc_child: "_Node | None" = None
+        self._exact: dict = {}
+        self._dual_lb: int | None = None
+
+    # ------------------------------------------------------------------
+    # Schedule-stage artifacts (computed once, shared by every walk)
+    # ------------------------------------------------------------------
+    @property
+    def la(self) -> LoopArrays:
+        if self._la is None:  # only ever the root: children set arrays
+            self._la = lower_loop(self.chain.graph, self.chain.machine)
+        return self._la
+
+    @property
+    def extra(self) -> list[tuple[int, int, int, int]]:
+        """Explicit (non-flow) edges as ``(src, dst, delay, dist)`` tuples.
+
+        Flow edges always precede explicit ones in ``la`` (both the graph
+        lowering and :func:`_spill_arrays` keep that invariant), and there
+        is exactly one flow edge per consumer-adjacency entry.
+        """
+        if self._extra is None:
+            la = self.la
+            n_flow = sum(len(c) for c in la.cons)
+            self._extra = list(
+                zip(
+                    la.e_src[n_flow:],
+                    la.e_dst[n_flow:],
+                    la.e_delay[n_flow:],
+                    la.e_dist[n_flow:],
+                )
+            )
+        return self._extra
+
+    @property
+    def mii(self) -> int:
+        if self._mii is None:
+            self._mii = array_mii(self.la)
+        return self._mii
+
+    @property
+    def sched(self) -> tuple[list[int], list[int], int]:
+        """``(times, instances, ii)``: the II search of ``modulo_schedule``."""
+        if self._sched is None:
+            la = self.la
+            mii = self.mii
+            ii = mii if mii > self.min_ii else self.min_ii
+            max_ii = max(ii, sum(la.latency) + la.n + 16)
+            while ii <= max_ii:
+                result = kmodulo.attempt(la, ii, 16)
+                if result is not None:
+                    self._sched = (result[0], result[1], ii)
+                    break
+                ii += 1
+            else:
+                raise SchedulingFailure(
+                    f"{self.chain.name}: no schedule up to II={max_ii} "
+                    f"(MII={mii})"
+                )
+        return self._sched
+
+    @property
+    def ii(self) -> int:
+        return self.sched[2]
+
+    @property
+    def bounds(self) -> tuple[list[int], list[int]]:
+        """Lifetime ``[start, end)`` per value slot of ``la.values``."""
+        if self._bounds is None:
+            times, _insts, ii = self.sched
+            self._bounds = lifetime_bounds(self.la, times, ii)
+        return self._bounds
+
+    @property
+    def maxlive(self) -> int:
+        """Peak of the live profile: the unified lower bound."""
+        if self._maxlive is None:
+            starts, ends = self.bounds
+            if starts:
+                self._maxlive = max(
+                    live_profile_spans(zip(starts, ends), self.ii)
+                )
+            else:
+                self._maxlive = 0
+        return self._maxlive
+
+    @property
+    def asg(self) -> list[int]:
+        """The scheduler's unit-binding cluster assignment, per op index."""
+        if self._asg is None:
+            la = self.la
+            _times, insts, _ii = self.sched
+            cluster_of = la.ma.cluster_of
+            pool = la.pool
+            self._asg = [
+                cluster_of[pool[i]][insts[i]] for i in range(la.n)
+            ]
+        return self._asg
+
+    # ------------------------------------------------------------------
+    # Requirements: lower bounds gate, exact values memoize per model
+    # ------------------------------------------------------------------
+    def lower_bound(self, model: Model) -> int:
+        """A cheap bound below the exact requirement under ``model``.
+
+        MaxLive never exceeds the first-fit span (``ceil(span/II)``), so
+        while the bound exceeds the budget the walk can spill without
+        paying for an exact allocation.
+        """
+        if model is Model.PARTITIONED:
+            if self._dual_lb is None:
+                starts, ends = self.bounds
+                self._dual_lb = kdual.dual_max_live(
+                    self.la, self.asg, starts, ends, self.ii
+                )
+            return self._dual_lb
+        if model is Model.SWAPPED:
+            # Valid under *any* assignment: at the global peak cycle every
+            # live value occupies at least one subfile, so the most loaded
+            # subfile holds at least ceil(MaxLive / clusters) of them.
+            return -(-self.maxlive // self.la.ma.n_clusters)
+        return self.maxlive
+
+    def requirement(self, model: Model, estimator: SwapEstimator) -> int:
+        """Exact registers required under ``model`` (memoized per node)."""
+        if model is Model.PARTITIONED:
+            key = "p"
+        elif model is Model.SWAPPED:
+            key = ("s", estimator)
+        else:  # IDEAL and UNIFIED report the same unified allocation
+            key = "u"
+        cached = self._exact.get(key)
+        if cached is None:
+            if key == "u":
+                cached = self._unified_registers()
+            elif key == "p":
+                starts, ends = self.bounds
+                cached = kdual.dual_registers(
+                    self.la, self.asg, starts, ends, self.ii
+                )
+            else:
+                cached = self._swapped_registers(estimator)
+            self._exact[key] = cached
+        return cached
+
+    def _unified_registers(self) -> int:
+        """First-fit span of the single file: ``allocate_unified`` exactly."""
+        starts, ends = self.bounds
+        ii = self.ii
+        if not starts:
+            return 0
+        # Same insertion order as regalloc.firstfit.first_fit: increasing
+        # start, ties by op id (slot order == id order).
+        order = sorted(range(len(starts)), key=lambda k: (starts[k], k))
+        occupied = BitOccupancy()
+        lo = None
+        hi = None
+        for k in order:
+            shift = first_fit_shift(starts[k], ends[k], ii, (occupied,))
+            a = starts[k] + shift * ii
+            b = ends[k] + shift * ii
+            occupied.add(a, b)
+            if lo is None or a < lo:
+                lo = a
+            if hi is None or b > hi:
+                hi = b
+        return -(-(hi - lo) // ii)
+
+    def _swapped_registers(self, estimator: SwapEstimator) -> int:
+        """Greedy swap then dual allocation: ``swapped_requirement`` exactly."""
+        la = self.la
+        times, insts, ii = self.sched
+        starts, ends = self.bounds
+        rows = [t % ii for t in times]
+        insts = list(insts)
+        asg = list(self.asg)
+        greedy_swap_search(
+            la,
+            ii,
+            rows,
+            insts,
+            asg,
+            starts,
+            ends,
+            estimator is SwapEstimator.FIRSTFIT,
+            1000,
+            False,
+        )
+        return kdual.dual_registers(la, asg, starts, ends, ii)
+
+    # ------------------------------------------------------------------
+    # Transitions (model-independent: shared by every walk)
+    # ------------------------------------------------------------------
+    @property
+    def victim(self) -> int | None:
+        """The policy's victim as a value slot index, or ``None``."""
+        if self._victim is _UNSET:
+            self._victim = self._select_victim()
+        return self._victim
+
+    def _select_victim(self) -> int | None:
+        la = self.la
+        is_spill = self.is_spill
+        is_spill_store = self.is_spill_store
+        cons = la.cons
+        values = la.values
+        candidates = []
+        for k, v in enumerate(values):
+            if is_spill[v]:
+                continue
+            uses = cons[v]
+            if not uses:
+                continue
+            # Skip values already spilled (only consumer: a spill store).
+            if all(is_spill_store[c] for c, _dist in uses):
+                continue
+            candidates.append(k)
+        if not candidates:
+            return None
+        if self.chain.policy == "first":
+            return candidates[0]  # slots ascend with op id
+        starts, ends = self.bounds
+        ii = self.ii
+        policy = self.chain.policy
+        # Indices ascend with op ids, so every id tie break holds on slots.
+        if policy == "longest":
+            return max(
+                candidates,
+                key=lambda k: (ends[k] - starts[k], -values[k]),
+            )
+        if policy == "most_registers":
+            return max(
+                candidates,
+                key=lambda k: (
+                    -(-(ends[k] - starts[k]) // ii),
+                    -values[k],
+                ),
+            )
+        if policy == "most_consumers":
+            return max(
+                candidates,
+                key=lambda k: (
+                    len(cons[values[k]]),
+                    ends[k] - starts[k],
+                    -values[k],
+                ),
+            )
+        if policy == "least_traffic":
+            return min(
+                candidates,
+                key=lambda k: (
+                    1 + len(set(cons[values[k]])),
+                    # negated register cost: -ceil(length/II)
+                    (starts[k] - ends[k]) // ii,
+                    values[k],
+                ),
+            )
+        raise ValueError(
+            f"victim policy {policy!r} has no array implementation"
+        )
+
+    def spill_child(self) -> "_Node":
+        """The state after spilling this node's victim (shared by walks)."""
+        if self._spill_child is None:
+            la = self.la
+            machine = self.chain.machine
+            ma = la.ma
+            child_la, child_extra, n_loads = _spill_arrays(
+                la,
+                self.extra,
+                self.victim,
+                ma.index[machine.pool_for(OpType.STORE)],
+                ma.index[machine.pool_for(OpType.LOAD)],
+                machine.latency_of(OpType.STORE),
+                machine.latency_of(OpType.LOAD),
+            )
+            added = 1 + n_loads
+            self._spill_child = _Node(
+                self.chain,
+                self.min_ii,
+                self.mem_ops + added,
+                self.spill_ops + added,
+                self.is_spill + [True] * added,
+                self.is_spill_store + [True] + [False] * n_loads,
+                la=child_la,
+                extra=child_extra,
+            )
+        return self._spill_child
+
+    def escalation_child(self, next_ii: int) -> "_Node":
+        """The state after rescheduling at ``next_ii`` (same arrays)."""
+        if self._esc_child is None or self._esc_child.min_ii != next_ii:
+            self._esc_child = _Node(
+                self.chain,
+                next_ii,
+                self.mem_ops,
+                self.spill_ops,
+                self.is_spill,
+                self.is_spill_store,
+                la=self._la,
+                mii=self._mii,
+                extra=self._extra,
+            )
+        return self._esc_child
+
+
+# ----------------------------------------------------------------------
+# Chain-level results (plain integers; engine.jobs stamps loop metadata)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchPressure:
+    """Root-node measurements of one chain (Figures 6/7 numbers)."""
+
+    ii: int
+    mii: int
+    unified: int
+    partitioned: int
+    swapped: int
+    max_live: int
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Exit state of one (model, budget) walk (Figures 8/9 numbers)."""
+
+    ii: int
+    mii: int
+    spilled_values: int
+    ii_increases: int
+    fits: bool
+    memory_ops: int
+    spill_ops: int
+    registers: int
+
+
+class LoopChain:
+    """The shared spill chain of one (graph, machine, knobs) job group."""
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        machine: MachineConfig,
+        victim_policy: str = "longest",
+        pressure_strategy: str = "spill",
+        ii_escalation: str = "increment",
+    ):
+        if not supports(victim_policy, pressure_strategy):
+            raise ValueError(
+                f"victim policy {victim_policy!r} has no array "
+                f"implementation; execute such jobs per point"
+            )
+        self.graph = graph
+        self.name = graph.name
+        self.machine = machine
+        self.policy = victim_policy
+        self.strategy = pressure_strategy
+        self.escalation = get_escalation(ii_escalation)
+        memory = graph.memory_operations()
+        ops = graph.operations
+        self.root = _Node(
+            self,
+            1,
+            len(memory),
+            sum(1 for op in memory if op.is_spill),
+            [op.is_spill for op in ops],
+            [op.is_spill and op.optype is OpType.STORE for op in ops],
+        )
+
+    def pressure(self, estimator: SwapEstimator) -> BatchPressure:
+        """All models' requirements of the root schedule (no budget)."""
+        root = self.root
+        return BatchPressure(
+            ii=root.ii,
+            mii=root.mii,
+            unified=root.requirement(Model.UNIFIED, estimator),
+            partitioned=root.requirement(Model.PARTITIONED, estimator),
+            swapped=root.requirement(Model.SWAPPED, estimator),
+            max_live=root.maxlive,
+        )
+
+    def evaluate(
+        self,
+        model: Model,
+        register_budget: int | None,
+        estimator: SwapEstimator,
+        max_rounds: int = 200,
+    ) -> BatchEvaluation:
+        """Walk the chain exactly as the Section 5.4 pass loop would.
+
+        The walk carries only the model-dependent bookkeeping (plateau
+        counters and the halt test); states and transitions come from the
+        shared chain, so the Nth point of a sweep traverses memoized nodes.
+        """
+        budget = None if model is Model.IDEAL else register_budget
+        select_victims = self.strategy == "spill"
+        escalation = self.escalation
+        node = self.root
+        spilled = 0
+        ii_increases = 0
+        stale = 0
+        best: int | None = None
+        fits = True
+        halted = False
+        last = node
+        registers: int | None = None
+        for _ in range(max_rounds):
+            last = node
+            registers = None
+            if budget is None:
+                registers = node.requirement(model, estimator)
+                halted = True
+                break
+            if node.lower_bound(model) <= budget:
+                registers = node.requirement(model, estimator)
+                if registers <= budget:
+                    halted = True
+                    break
+            victim = node.victim if select_victims else None
+            if victim is None:
+                if registers is None:
+                    registers = node.requirement(model, estimator)
+                if best is None or registers < best:
+                    best = registers
+                    stale = 0
+                else:
+                    stale += 1
+                    if escalation.give_up(stale):
+                        fits = False
+                        halted = True
+                        break
+                next_ii = escalation.next_ii(node.ii)
+                if next_ii <= node.min_ii:
+                    raise ValueError(
+                        f"escalation must raise the II "
+                        f"(min_ii={node.min_ii}, next={next_ii})"
+                    )
+                node = node.escalation_child(next_ii)
+                ii_increases += 1
+            else:
+                node = node.spill_child()
+                spilled += 1
+        if registers is None:
+            # The final round spilled/escalated under the lower-bound gate;
+            # the cap verdict still reads that round's measured requirement.
+            registers = last.requirement(model, estimator)
+        if not halted:
+            fits = budget is None or registers <= budget
+        return BatchEvaluation(
+            ii=last.ii,
+            mii=self.root.mii,
+            spilled_values=spilled,
+            ii_increases=ii_increases,
+            fits=fits,
+            memory_ops=last.mem_ops,
+            spill_ops=last.spill_ops,
+            registers=registers,
+        )
+
+
+__all__ = [
+    "ARRAY_POLICIES",
+    "BatchEvaluation",
+    "BatchPressure",
+    "LoopChain",
+    "array_mii",
+    "supports",
+]

@@ -72,6 +72,16 @@ def attempt(
     n_unscheduled = n
     budget = budget_factor * n
 
+    # Heights are fixed for the whole attempt, so "highest height, ties to
+    # the lowest index" is simply the first unscheduled entry of one static
+    # order: keep a cursor into it and rewind on displacement instead of
+    # rescanning all n ops per placement.
+    order = sorted(range(n), key=lambda i: -h[i])  # stable: ties by index
+    rank = [0] * n
+    for r, i in enumerate(order):
+        rank[i] = r
+    cursor = 0
+
     # MRT: one occupancy word and one occupant list per (row, pool) cell.
     occ_mask = [0] * (ii * n_pools)
     occ_ops = [
@@ -84,12 +94,9 @@ def attempt(
         budget -= 1
 
         # Highest height, ties to the lowest index (== lowest op id).
-        op = -1
-        best_h = -1
-        for i in range(n):
-            if unscheduled[i] and h[i] > best_h:
-                op = i
-                best_h = h[i]
+        while not unscheduled[order[cursor]]:
+            cursor += 1
+        op = order[cursor]
         p = pool[op]
         full = ma.full_masks[p]
 
@@ -136,6 +143,8 @@ def attempt(
             inst[victim] = -1
             unscheduled[victim] = True
             n_unscheduled += 1
+            if rank[victim] < cursor:
+                cursor = rank[victim]
             chosen_inst = victim_idx
 
         cell = (chosen_time % ii) * n_pools + p
@@ -162,6 +171,8 @@ def attempt(
                 inst[dst] = -1
                 unscheduled[dst] = True
                 n_unscheduled += 1
+                if rank[dst] < cursor:
+                    cursor = rank[dst]
 
     return time, inst
 

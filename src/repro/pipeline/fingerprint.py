@@ -81,11 +81,31 @@ def graph_fingerprint(graph: DependenceGraph) -> str:
     return result
 
 
+_loop_fingerprints: "WeakKeyDictionary[DependenceGraph, dict[int, str]]" = (
+    WeakKeyDictionary()
+)
+
+
 def loop_fingerprint(loop: Loop) -> str:
-    """Content hash of a loop: its graph plus the trip-count weight."""
-    return digest(
-        {"graph": graph_fingerprint(loop.graph), "trips": loop.trip_count}
-    )
+    """Content hash of a loop: its graph plus the trip-count weight.
+
+    Memoized per ``(graph, trip_count)`` -- :class:`~repro.ir.loop.Loop`
+    itself is an unhashable value dataclass, but its graph is the identity
+    that matters (the engine derives each job key once and reuses it for
+    both the cache probe and the store, so a cold grid point serializes its
+    graph exactly once).
+    """
+    per_graph = _loop_fingerprints.get(loop.graph)
+    if per_graph is None:
+        per_graph = {}
+        _loop_fingerprints[loop.graph] = per_graph
+    cached = per_graph.get(loop.trip_count)
+    if cached is None:
+        cached = digest(
+            {"graph": graph_fingerprint(loop.graph), "trips": loop.trip_count}
+        )
+        per_graph[loop.trip_count] = cached
+    return cached
 
 
 def machine_fingerprint(machine: MachineConfig) -> str:

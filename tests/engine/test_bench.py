@@ -9,6 +9,7 @@ import pytest
 from repro.__main__ import main as cli_main
 from repro.bench import (
     SCENARIOS,
+    baseline_gaps,
     check_regression,
     format_snapshot,
     run_bench,
@@ -18,7 +19,8 @@ from repro.bench import (
 @pytest.fixture(scope="module")
 def snapshot():
     return run_bench(
-        n_loops=2, scenarios=("cold_kernel", "cold_legacy", "warm")
+        n_loops=2,
+        scenarios=("cold_kernel", "cold_batch", "cold_legacy", "warm"),
     )
 
 
@@ -26,12 +28,21 @@ class TestRunBench:
     def test_snapshot_shape(self, snapshot):
         assert set(snapshot) == {"meta", "scenarios", "ratios"}
         assert snapshot["meta"]["loops"] == 2
-        for name in ("cold_kernel", "cold_legacy", "warm"):
+        for name in ("cold_kernel", "cold_batch", "cold_legacy", "warm"):
             data = snapshot["scenarios"][name]
             assert data["points"] == 2 * 7  # ideal + 2 budgets x 3 models
             assert data["seconds"] >= 0
         assert "kernel_speedup" in snapshot["ratios"]
+        assert "batch_speedup" in snapshot["ratios"]
         assert "warm_speedup" in snapshot["ratios"]
+
+    def test_batch_speedup_is_cold_over_batch(self, snapshot):
+        expected = round(
+            snapshot["scenarios"]["cold_kernel"]["seconds"]
+            / snapshot["scenarios"]["cold_batch"]["seconds"],
+            2,
+        )
+        assert snapshot["ratios"]["batch_speedup"] == expected
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown bench scenario"):
@@ -84,6 +95,25 @@ class TestRegressionGate:
         )
         assert failures and "lacks the scenarios" in failures[0]
 
+    def test_older_baseline_missing_new_scenario_passes(
+        self, snapshot, tmp_path
+    ):
+        """A baseline predating cold_batch must not crash or fail the gate."""
+        baseline = json.loads(json.dumps(snapshot))
+        del baseline["scenarios"]["cold_batch"]
+        del baseline["ratios"]["batch_speedup"]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        assert check_regression(snapshot, path, max_regression=0.25) == []
+        gaps = baseline_gaps(snapshot, path)
+        assert any("cold_batch" in gap for gap in gaps)
+        assert any("batch_speedup" in gap for gap in gaps)
+
+    def test_no_gaps_against_matching_baseline(self, snapshot, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(snapshot))
+        assert baseline_gaps(snapshot, path) == []
+
 
 class TestCli:
     def test_bench_subcommand_writes_json(self, tmp_path, capsys):
@@ -124,4 +154,31 @@ class TestCli:
         assert "bench regression" in capsys.readouterr().err
 
     def test_scenario_registry_is_cli_choices(self):
-        assert SCENARIOS == ("cold_kernel", "cold_legacy", "warm", "dispatch")
+        assert SCENARIOS == (
+            "cold_kernel",
+            "cold_batch",
+            "cold_legacy",
+            "warm",
+            "dispatch",
+        )
+
+    def test_gate_notes_stale_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"ratios": {}}))
+        code = cli_main(
+            [
+                "bench",
+                "--loops",
+                "1",
+                "--scenario",
+                "cold_kernel",
+                "--scenario",
+                "cold_batch",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench note" in out
+        assert "batch_speedup" in out

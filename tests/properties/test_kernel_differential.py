@@ -18,6 +18,9 @@ from hypothesis import strategies as st
 from repro import kernel
 from repro.core.models import Model, required_registers
 from repro.core.swapping import SwapEstimator, greedy_swap
+from repro.engine.jobs import evaluate_job, pressure_job
+from repro.engine.pool import run_jobs
+from repro.ir.loop import Loop
 from repro.machine.config import clustered_config, paper_config
 from repro.pipeline import ArtifactStore, run_evaluation, run_pressure
 from repro.regalloc.allocation import allocate_unified
@@ -162,3 +165,31 @@ class TestRandomGraphs:
 
         l0, l1 = _both(analyze)
         assert l0 == l1
+
+
+class TestBatchDifferential:
+    """The engine's grid-batched tier against per-point and legacy.
+
+    The walk sharing of :class:`repro.kernel.batch.LoopChain` (memoized
+    chain nodes, lower-bound gating, array-space spilling) must be
+    invisible at the ``run_jobs`` boundary: every (model, budget) point of
+    a random graph returns the identical :class:`JobResult` under tiers
+    ``"batch"``, ``"1"`` and ``"0"``.
+    """
+
+    @given(dependence_graphs(), st.sampled_from([3, 6]))
+    @settings(max_examples=20, deadline=None)
+    def test_engine_tiers_identical(self, graph, latency):
+        machine = paper_config(latency)
+        loop = Loop(name="hyp", graph=graph, trip_count=50)
+        jobs = [evaluate_job(loop, machine, Model.IDEAL, None)]
+        for budget in (4, 12):
+            for model in (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED):
+                jobs.append(evaluate_job(loop, machine, model, budget))
+        jobs.append(pressure_job(loop, machine))
+        out = {}
+        for tier in ("batch", "1", "0"):
+            with kernel.use_kernels(tier):
+                out[tier] = run_jobs(jobs, workers=0, cache=None)
+        assert out["batch"] == out["1"]
+        assert out["1"] == out["0"]
