@@ -7,6 +7,8 @@ Subcommands::
     python -m repro sweep --loops 8 --workers 2   # default grid, smoke scale
     python -m repro report --loops 200 --format html --out report
     python -m repro report --check   # exit non-zero unless paper reproduced
+    python -m repro validate --loops 200 --samples 6   # sim cross-check
+    python -m repro validate --kernel daxpy --budget 16
     python -m repro serve --port 8357             # the HTTP/JSON API
     python -m repro bench --json BENCH.json --loops 200
     python -m repro bench --baseline benchmarks/baseline-ci.json --loops 8
@@ -150,10 +152,84 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "exit non-zero when any gated paper expectation falls "
-            "outside its tolerance"
+            "outside its tolerance, or when the sampled simulator "
+            "cross-check observes a mismatch"
+        ),
+    )
+    report_p.add_argument(
+        "--sim-samples",
+        type=non_negative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "suite loops the simulator cross-check executes (default: 6 "
+            "with --check, 0 otherwise; 0 disables it)"
+        ),
+    )
+    report_p.add_argument(
+        "--sim-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "sample-selection seed of the simulator cross-check; a fixed "
+            "seed validates the same points on every run (default: the "
+            "suite seed)"
         ),
     )
     add_engine_arguments(report_p)
+
+    validate_p = sub.add_parser(
+        "validate",
+        help=(
+            "prove schedules/allocations by execution: run sampled suite "
+            "points (or one kernel) through the cycle-level simulator and "
+            "cross-check II, occupancy, and traffic against the analytics"
+        ),
+    )
+    validate_p.add_argument(
+        "--kernel",
+        default=None,
+        choices=caps["kernels"],
+        metavar="NAME",
+        help="validate one hand-written kernel under every model",
+    )
+    validate_p.add_argument(
+        "--budget",
+        type=positive_int,
+        default=None,
+        help="register budget for the finite models (default: unlimited)",
+    )
+    validate_p.add_argument(
+        "--loops",
+        type=positive_int,
+        default=200,
+        help="suite size the sample is drawn from (default: 200)",
+    )
+    validate_p.add_argument(
+        "--samples",
+        type=positive_int,
+        default=6,
+        help="sampled suite loops to execute (default: 6)",
+    )
+    validate_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="sample-selection seed (default: the suite seed)",
+    )
+    validate_p.add_argument(
+        "--latency",
+        type=positive_int,
+        default=6,
+        help="paper-machine FP latency to validate under (default: 6)",
+    )
+    validate_p.add_argument(
+        "--iterations",
+        type=positive_int,
+        default=None,
+        help="simulated iterations per point (default: auto from stages)",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -252,6 +328,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import DEFAULT_SEED
+
     out_dir = args.out
     if out_dir is None:
         out_dir = None if args.check else "report"
@@ -261,6 +339,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         fmt=args.fmt,
         out_dir=out_dir,
         check=args.check,
+        sim_samples=args.sim_samples,
+        sim_seed=(
+            args.sim_seed if args.sim_seed is not None else DEFAULT_SEED
+        ),
     )
     with Session(engine=engine_from_args(args)) as session:
         response = session.report(request)
@@ -268,6 +350,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.check and not response.ok:
         return 1
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.models import Model
+    from repro.api import LoopSpec, ValidateRequest
+    from repro.validate import run_sampled_validation
+    from repro.workloads.suite import DEFAULT_SEED
+
+    if args.kernel is not None:
+        # Single-kernel mode rides the typed facade: one ValidateRequest
+        # per model, the same wire shape a serve client would POST.
+        failures = 0
+        with Session() as session:
+            for model in Model:
+                budget = None if model is Model.IDEAL else args.budget
+                response = session.validate(
+                    ValidateRequest(
+                        loop=LoopSpec(kind="kernel", name=args.kernel),
+                        model=model.value,
+                        register_budget=budget,
+                        iterations=args.iterations,
+                    )
+                )
+                verdict = "ok" if response.ok else "MISMATCH"
+                print(
+                    f"{args.kernel} {model.value:<12} "
+                    f"budget={budget}: {verdict} "
+                    f"({response.points} executions)"
+                )
+                if not response.ok:
+                    print(response.text)
+                    failures += 1
+        return 1 if failures else 0
+
+    result = run_sampled_validation(
+        n_loops=args.loops,
+        samples=args.samples,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        latency=args.latency,
+        iterations=args.iterations,
+    )
+    print(result.format())
+    return 0 if result.ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -301,6 +426,7 @@ HANDLERS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "validate": _cmd_validate,
     "serve": _cmd_serve,
     "bench": _bench_main,
     "cache": _cmd_cache,

@@ -62,6 +62,8 @@ from repro.api.types import (
     SweepRequest,
     SweepResponse,
     UnknownExperimentError,
+    ValidateRequest,
+    ValidateResponse,
     request_from_dict,
     response_from_dict,
 )
@@ -92,6 +94,8 @@ __all__ = [
     "SweepRequest",
     "SweepResponse",
     "UnknownExperimentError",
+    "ValidateRequest",
+    "ValidateResponse",
     "capabilities",
     "get_experiment",
     "list_experiments",

@@ -437,6 +437,75 @@ register_experiment(
 )
 
 
+def _run_validate_entry(
+    engine=None, loops=200, samples=6, seed=DEFAULT_SEED, latency=6,
+    iterations=None,
+):
+    # Imported lazily: repro.validate drives the pipeline and simulator;
+    # the registry must stay importable without either.  The engine is
+    # deliberately unused -- validation verdicts must come from executing
+    # this build, never from cached analytical results.
+    from repro.validate import run_sampled_validation
+
+    return run_sampled_validation(
+        n_loops=loops,
+        samples=samples,
+        seed=seed,
+        latency=latency,
+        iterations=iterations,
+    )
+
+
+register_experiment(
+    Experiment(
+        name="validate",
+        kind="experiment",
+        title="Simulator cross-check -- sampled differential validation",
+        description=(
+            "Execute a seeded sample of suite points cycle-by-cycle under "
+            "every model and kernel tier and check observed II, register "
+            "occupancy, and bus traffic against the analytical claims."
+        ),
+        params=(
+            _LOOPS,
+            Param(
+                "samples",
+                "int",
+                default=6,
+                minimum=1,
+                maximum=256,
+                help="sampled suite loops to execute",
+            ),
+            Param(
+                "seed",
+                "int",
+                default=DEFAULT_SEED,
+                help="sample-selection seed (suite seed stays the default)",
+            ),
+            Param(
+                "latency",
+                "int",
+                default=6,
+                minimum=1,
+                maximum=64,
+                help="paper-machine FP latency to validate under",
+            ),
+            Param(
+                "iterations",
+                "int",
+                default=None,
+                minimum=1,
+                maximum=4096,
+                nullable=True,
+                help="simulated iterations per point (default: auto)",
+            ),
+        ),
+        runner=_run_validate_entry,
+        formatter=lambda result: result.format(),
+    )
+)
+
+
 def _run_suite_entry(engine=None, loops=200, spill_loops=None):
     # Imported lazily: the runner iterates this registry for its sections,
     # so the import must happen at call time to keep the layering one-way.

@@ -46,6 +46,8 @@ from repro.api.types import (
     ScheduleResponse,
     SweepRequest,
     SweepResponse,
+    ValidateRequest,
+    ValidateResponse,
     WireMessage,
 )
 from repro.core.swapping import SwapEstimator
@@ -284,6 +286,54 @@ class Session:
             text=exp.format(result),
         )
 
+    def validate(self, request: ValidateRequest) -> ValidateResponse:
+        """Differentially validate one point by cycle-level execution.
+
+        Always computed: the verdict must come from executing *this
+        build's* pipeline output, so cached analytical results are
+        deliberately bypassed.
+        """
+        # Runtime-only import (like report's): repro.validate drives the
+        # pipeline, which the wire-type layer must not pull in at import.
+        from repro.core.models import Model
+        from repro.validate import reproducer_spec, validate_point
+
+        loop = request.loop.resolve()
+        machine_spec = (
+            request.machine if request.machine is not None else self.machine
+        )
+        machine = machine_spec.resolve()
+        model = Model(request.model)
+        report = validate_point(
+            loop,
+            machine,
+            model,
+            request.register_budget,
+            tiers=tuple(request.tiers),
+            iterations=request.iterations,
+            reproducer=reproducer_spec(
+                loop,
+                machine,
+                model,
+                request.register_budget,
+                loop_spec=request.loop.to_dict(),
+                machine_spec=machine_spec.to_dict(),
+            ),
+        )
+        with self._lock:
+            self.requests_served += 1
+        return ValidateResponse(
+            loop_name=loop.name,
+            machine=machine.name,
+            model=request.model,
+            register_budget=request.register_budget,
+            tiers=tuple(request.tiers),
+            points=len(report.points),
+            mismatches=len(report.mismatches),
+            ok=report.ok,
+            text=report.describe(),
+        )
+
     def report(self, request: ReportRequest) -> ReportResponse:
         """Generate (and optionally write) the reproduction artifact."""
         # Imported here: repro.report imports the suite runner, which
@@ -292,6 +342,13 @@ class Session:
         from repro.report.build import generate_report
         from repro.report.expected import gate_summary
 
+        sim_samples = request.sim_samples
+        if sim_samples is None:
+            # --check implies the sampled simulator cross-check; a plain
+            # artifact render skips it (and its footer row) by default.
+            from repro.validate import DEFAULT_SAMPLES
+
+            sim_samples = DEFAULT_SAMPLES if request.check else 0
         with self._lock:
             result = generate_report(
                 n_loops=request.n_loops,
@@ -300,6 +357,8 @@ class Session:
                 fmt=request.fmt,
                 out_dir=request.out_dir,
                 stamp=request.stamp,
+                sim_samples=sim_samples,
+                sim_seed=request.sim_seed,
             )
             self.requests_served += 1
         gated, failed = gate_summary(result.deltas)
@@ -313,6 +372,15 @@ class Session:
             summary=result.summary(),
             path=str(result.path) if result.path is not None else None,
             text=result.text if request.include_text else None,
+            sim_points=(
+                len(result.sim.points) if result.sim is not None else 0
+            ),
+            sim_mismatches=(
+                len(result.sim.mismatches) if result.sim is not None else 0
+            ),
+            sim_summary=(
+                result.sim.describe() if result.sim is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -324,6 +392,7 @@ class Session:
         EvaluateRequest: evaluate,
         SweepRequest: sweep,
         ExperimentRequest: experiment,
+        ValidateRequest: validate,
         ReportRequest: report,
     }
 

@@ -471,6 +471,51 @@ class ExperimentRequest(WireMessage):
         _check(isinstance(self.params, dict), "params must be an object")
 
 
+#: Kernel tiers a ValidateRequest may name (mirrors repro.validate.TIERS;
+#: literal here so the wire module stays import-light).
+VALIDATE_TIERS = ("batch", "1", "0")
+
+
+@dataclass(frozen=True)
+class ValidateRequest(WireMessage):
+    """Differentially validate one evaluated point by execution.
+
+    The point is re-evaluated under each requested kernel tier and its
+    schedule/allocation executed cycle-by-cycle against the reference
+    interpreter (:mod:`repro.validate`); the response reports every
+    observed-vs-claimed mismatch with actionable coordinates.
+    """
+
+    KIND: ClassVar[str] = "validate"
+    _CONVERTERS = {
+        "loop": LoopSpec.from_dict,
+        "machine": MachineSpec.from_dict,
+        "tiers": _strs,
+    }
+
+    loop: LoopSpec
+    machine: MachineSpec | None = None
+    model: str = Model.UNIFIED.value
+    register_budget: int | None = None
+    tiers: tuple[str, ...] = VALIDATE_TIERS
+    iterations: int | None = None
+    schema_version: int = API_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.loop, LoopSpec), "loop must be a LoopSpec")
+        _choice(self.model, [m.value for m in Model], "model")
+        if self.register_budget is not None:
+            _check(self.register_budget >= 1, "register_budget must be >= 1")
+        _check(len(self.tiers) >= 1, "tiers must not be empty")
+        for tier in self.tiers:
+            _choice(tier, VALIDATE_TIERS, "kernel tier")
+        if self.iterations is not None:
+            _check(
+                1 <= self.iterations <= 4096,
+                "iterations must be between 1 and 4096",
+            )
+
+
 @dataclass(frozen=True)
 class ReportRequest(WireMessage):
     """Generate the reproduction artifact through the facade.
@@ -479,6 +524,13 @@ class ReportRequest(WireMessage):
     the rendered artifact into the response body (it can be large).
     ``check`` records the caller's intent to gate on the result -- the
     response's ``ok`` field carries the verdict either way.
+
+    ``sim_samples`` sizes the sampled simulator cross-check
+    (:mod:`repro.validate`); ``None`` runs the default sample when
+    ``check`` is set and skips it otherwise, ``0`` disables it outright.
+    ``sim_seed`` drives sample selection, so a fixed seed validates the
+    same points on every run.  (New optional fields with defaults: not a
+    schema bump per the policy above.)
     """
 
     KIND: ClassVar[str] = "report"
@@ -490,6 +542,8 @@ class ReportRequest(WireMessage):
     check: bool = False
     include_text: bool = False
     stamp: bool = True
+    sim_samples: int | None = None
+    sim_seed: int = DEFAULT_SEED
     schema_version: int = API_SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -504,6 +558,11 @@ class ReportRequest(WireMessage):
                 f"spill_loops must be between 1 and {MAX_SUITE_LOOPS}",
             )
         _choice(self.fmt, ("md", "html"), "report format")
+        if self.sim_samples is not None:
+            _check(
+                0 <= self.sim_samples <= 256,
+                "sim_samples must be between 0 and 256",
+            )
 
 
 # ----------------------------------------------------------------------
@@ -607,8 +666,32 @@ class ExperimentResponse(WireMessage):
 
 
 @dataclass(frozen=True)
+class ValidateResponse(WireMessage):
+    """Verdict of one differential validation across kernel tiers."""
+
+    KIND: ClassVar[str] = "validate.response"
+    _CONVERTERS = {"tiers": _strs}
+
+    loop_name: str
+    machine: str
+    model: str
+    register_budget: int | None
+    tiers: tuple[str, ...]
+    points: int
+    mismatches: int
+    ok: bool
+    text: str
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
 class ReportResponse(WireMessage):
-    """Verdict and summary of one reproduction-artifact run."""
+    """Verdict and summary of one reproduction-artifact run.
+
+    ``ok`` folds the paper-delta gates *and* the sampled simulator
+    cross-check; ``sim_points``/``sim_mismatches`` break the latter out
+    (both 0 when the cross-check did not run).
+    """
 
     KIND: ClassVar[str] = "report.response"
     _CONVERTERS = {"failed_keys": _strs}
@@ -622,6 +705,9 @@ class ReportResponse(WireMessage):
     summary: str
     path: str | None
     text: str | None = None
+    sim_points: int = 0
+    sim_mismatches: int = 0
+    sim_summary: str | None = None
     schema_version: int = API_SCHEMA_VERSION
 
 
@@ -634,6 +720,7 @@ REQUEST_TYPES: dict[str, type[WireMessage]] = {
         EvaluateRequest,
         SweepRequest,
         ExperimentRequest,
+        ValidateRequest,
         ReportRequest,
     )
 }
@@ -647,6 +734,7 @@ RESPONSE_TYPES: dict[str, type[WireMessage]] = {
         EvaluateResponse,
         SweepResponse,
         ExperimentResponse,
+        ValidateResponse,
         ReportResponse,
     )
 }
@@ -702,6 +790,9 @@ __all__ = [
     "SweepRequest",
     "SweepResponse",
     "UnknownExperimentError",
+    "VALIDATE_TIERS",
+    "ValidateRequest",
+    "ValidateResponse",
     "WireMessage",
     "request_from_dict",
     "response_from_dict",

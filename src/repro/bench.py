@@ -18,7 +18,11 @@ Scenarios:
   memoization path, no scheduler runs);
 * ``dispatch``     -- the same points as engine jobs through
   :func:`repro.engine.pool.run_jobs` (chunked IPC dispatch when
-  ``--workers`` > 1, the serial engine otherwise).
+  ``--workers`` > 1, the serial engine otherwise);
+* ``simulate``     -- every grid point's final schedule/allocation
+  executed through the cycle-level simulator (the differential gate's
+  hot path, ``benchmarks/bench_simulator.py``'s workload at grid scale).
+  Informational only: it has no baseline ratio and is never gated.
 
 The regression gate (``--baseline`` / ``--max-regression``) compares the
 hardware-independent ratios -- ``kernel_speedup`` (``cold_legacy /
@@ -56,7 +60,14 @@ BUDGETS = (32, 64)
 MODELS = (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED)
 
 #: Scenario registry order is the report order.
-SCENARIOS = ("cold_kernel", "cold_batch", "cold_legacy", "warm", "dispatch")
+SCENARIOS = (
+    "cold_kernel",
+    "cold_batch",
+    "cold_legacy",
+    "warm",
+    "dispatch",
+    "simulate",
+)
 
 
 def bench_grid(loops, machine):
@@ -151,6 +162,32 @@ def run_bench(
             lambda: _run_grid(loops, machine, store), repeats
         )
         record("warm", seconds, points)
+    if "simulate" in scenarios:
+        # The differential gate's hot path: execute every grid point's
+        # final schedule/allocation cycle-by-cycle.  The store is primed
+        # outside the timed region so the measurement is the simulator,
+        # not the (already covered) analytic pipeline.  Imported lazily:
+        # repro.validate must stay off the bench module's import graph.
+        from repro.sim.executor import execute_kernel
+        from repro.validate.differential import allocation_for
+
+        store = ArtifactStore(8192)
+        _run_grid(loops, machine, store)  # prime
+
+        def _simulate() -> int:
+            points = 0
+            for loop, mach, model, budget in bench_grid(loops, machine):
+                evaluation = run_evaluation(
+                    loop, mach, model, budget, store=store
+                )
+                schedule, allocation = allocation_for(evaluation)
+                execute_kernel(schedule, allocation, iterations=8)
+                points += 1
+            return points
+
+        with kernel.use_kernels("1"):
+            seconds, points = _timed(_simulate, repeats)
+        record("simulate", seconds, points)
     if "dispatch" in scenarios:
         jobs = [
             evaluate_job(loop, mach, model, budget)

@@ -13,6 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.validate.sampling import SampledValidation
 
 from repro.api.registry import get_experiment
 from repro.engine.pool import Engine
@@ -40,6 +44,9 @@ class ReportResult:
     document: Document
     text: str
     path: Path | None
+    #: Sampled simulator cross-check outcome, when it ran (see
+    #: :mod:`repro.validate.sampling`); ``None`` otherwise.
+    sim: "SampledValidation | None" = None
 
     @property
     def failed(self) -> list[Delta]:
@@ -47,7 +54,8 @@ class ReportResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failed
+        """Paper-delta gates pass *and* the sampled execution agrees."""
+        return not self.failed and (self.sim is None or self.sim.ok)
 
     def summary(self) -> str:
         gated, failed = gate_summary(self.deltas)
@@ -62,6 +70,10 @@ class ReportResult:
                 f"{delta.reproduced_display} "
                 f"({delta.expectation.paper_ref})"
             )
+        if self.sim is not None:
+            lines.append(f"sim cross-check: {self.sim.describe()}")
+            for mismatch in self.sim.mismatches:
+                lines.append("  SIM " + mismatch.describe().replace("\n", " "))
         if self.path is not None:
             lines.append(f"artifact: {self.path}")
         return "\n".join(lines)
@@ -74,12 +86,21 @@ def generate_report(
     fmt: str = "md",
     out_dir: Path | str | None = "report",
     stamp: bool = True,
+    sim_samples: int = 0,
+    sim_seed: int | None = None,
 ) -> ReportResult:
     """Run the suite and build (and optionally write) the artifact.
 
     ``out_dir=None`` renders without writing (``--check``-only runs).
     ``stamp=False`` omits the generation timestamp, which keeps renders
     byte-reproducible for tests.
+
+    ``sim_samples > 0`` additionally runs the sampled simulator
+    cross-check: ``sim_samples`` suite loops -- chosen by one RNG seeded
+    with ``sim_seed``, so repeated runs validate the same points -- are
+    executed cycle-by-cycle under every model and kernel tier and checked
+    against the analytical claims.  The outcome lands in the provenance
+    footer and in :attr:`ReportResult.ok`.
     """
     if fmt not in RENDERERS:
         raise ValueError(
@@ -91,12 +112,28 @@ def generate_report(
         engine=engine, loops=n_loops, spill_loops=spill_loops
     )
     deltas = tuple(evaluate_expectations(suite))
+    sim = None
+    if sim_samples > 0:
+        # Imported lazily, like the registry: repro.validate drives the
+        # pipeline and must not join the report's import-time graph.
+        from repro.validate import run_sampled_validation
+        from repro.workloads.suite import DEFAULT_SEED
+
+        sim = run_sampled_validation(
+            n_loops=n_loops,
+            samples=sim_samples,
+            seed=DEFAULT_SEED if sim_seed is None else sim_seed,
+        )
     generated_at = (
         datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
         if stamp
         else None
     )
-    provenance = collect_provenance(suite, generated_at=generated_at)
+    provenance = collect_provenance(
+        suite,
+        generated_at=generated_at,
+        sim_check=sim.describe() if sim is not None else None,
+    )
     document = build_document(suite, deltas, provenance)
     text = RENDERERS[fmt](document)
     path = None
@@ -111,6 +148,7 @@ def generate_report(
         document=document,
         text=text,
         path=path,
+        sim=sim,
     )
 
 

@@ -55,6 +55,9 @@ class Provenance:
     cache_summary: str | None
     wall_seconds: float
     generated_at: str | None = None
+    #: One-line outcome of the sampled simulator cross-check, when it ran
+    #: (see :mod:`repro.validate.sampling`); ``None`` otherwise.
+    sim_check: str | None = None
 
     def rows(self) -> list[tuple[str, str]]:
         """(label, value) pairs, in footer order."""
@@ -74,13 +77,17 @@ class Provenance:
             ("cache", self.cache_summary or "disabled"),
             ("wall time", f"{self.wall_seconds:.1f}s"),
         ]
+        if self.sim_check:
+            rows.append(("sim cross-check", self.sim_check))
         if self.generated_at:
             rows.append(("generated", self.generated_at))
         return rows
 
 
 def collect_provenance(
-    suite: SuiteResult, generated_at: str | None = None
+    suite: SuiteResult,
+    generated_at: str | None = None,
+    sim_check: str | None = None,
 ) -> Provenance:
     """Assemble the footer data for one finished suite run."""
     return Provenance(
@@ -95,6 +102,7 @@ def collect_provenance(
         cache_summary=suite.cache_summary,
         wall_seconds=suite.wall_seconds,
         generated_at=generated_at,
+        sim_check=sim_check,
     )
 
 

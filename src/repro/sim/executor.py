@@ -30,11 +30,32 @@ from repro.ir.operation import Immediate, InvariantRef, OpType, ValueRef
 from repro.regalloc.allocation import UnifiedAllocation
 from repro.sched.schedule import Schedule
 from repro.sim.reference import ReferenceInterpreter, apply_op, invariant_value
-from repro.sim.regfile import RegisterFile
+from repro.sim.regfile import OccupancyStats, RegisterFile
 
 
 class SimulationError(RuntimeError):
-    """A dataflow mismatch between execution and the reference model."""
+    """A dataflow mismatch between execution and the reference model.
+
+    Carries the failing op, cycle, and the expected/observed values as
+    attributes so diagnostics survive without string parsing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        cycle: int | None = None,
+        iteration: int | None = None,
+        expected=None,
+        observed=None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.cycle = cycle
+        self.iteration = iteration
+        self.expected = expected
+        self.observed = observed
 
 
 @dataclass
@@ -70,6 +91,10 @@ class SimulationReport:
     memory_accesses: int
     bus_per_cycle: dict[int, int]
     port_stats: dict[str, PortStats]
+    #: File name -> observed occupancy (peak busy cells, cells touched).
+    occupancy: dict[str, OccupancyStats] = field(default_factory=dict)
+    #: File name -> register count the allocation claimed for that file.
+    registers_claimed: dict[str, int] = field(default_factory=dict)
 
     @property
     def bus_peak(self) -> int:
@@ -165,7 +190,12 @@ def execute_kernel(
                     if got != expected:
                         raise SimulationError(
                             f"{op.name} iter {k}: read {got!r}, "
-                            f"expected {expected!r}"
+                            f"expected {expected!r}",
+                            op=op.name,
+                            cycle=time,
+                            iteration=k,
+                            expected=expected,
+                            observed=got,
                         )
                     reads_checked += 1
                     inputs.append(got)
@@ -189,7 +219,12 @@ def execute_kernel(
         if result != expected:
             raise SimulationError(
                 f"{op.name} iter {k}: computed {result!r}, "
-                f"reference {expected!r}"
+                f"reference {expected!r}",
+                op=op.name,
+                cycle=time,
+                iteration=k,
+                expected=expected,
+                observed=result,
             )
 
         write_time = time + machine.latency_of(op)
@@ -200,7 +235,12 @@ def execute_kernel(
                 port_stats[rf_out.name].record_write(write_time)
                 written = True
         if not written:
-            raise SimulationError(f"{op.name}: value allocated in no file")
+            raise SimulationError(
+                f"{op.name}: value allocated in no file",
+                op=op.name,
+                cycle=time,
+                iteration=k,
+            )
         values_written += 1
 
     total_cycles = iterations * schedule.ii
@@ -212,6 +252,12 @@ def execute_kernel(
         memory_accesses=memory_accesses,
         bus_per_cycle=bus_per_cycle,
         port_stats=port_stats,
+        occupancy={
+            name: rf.occupancy() for name, rf in unique_files.items()
+        },
+        registers_claimed={
+            name: rf.registers for name, rf in unique_files.items()
+        },
     )
 
 
@@ -237,7 +283,9 @@ def _load_or_compute(
     key = (op.symbol or "?", src_iter)
     if key not in memory:
         raise SimulationError(
-            f"{op.name} iter {k}: reload before its spill store executed"
+            f"{op.name} iter {k}: reload before its spill store executed",
+            op=op.name,
+            iteration=k,
         )
     return memory[key]
 

@@ -20,7 +20,48 @@ from repro.regalloc.firstfit import PlacedLifetime
 
 
 class RegisterFileError(RuntimeError):
-    """A dynamic register-file consistency violation (allocation bug)."""
+    """A dynamic register-file consistency violation (allocation bug).
+
+    Carries structured diagnostics alongside the message so the validate
+    layer can report *where* an allocation broke (file, physical register,
+    cycle, the owner found vs the owner expected) without parsing text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: str | None = None,
+        register: int | None = None,
+        op_id: int | None = None,
+        iteration: int | None = None,
+        cycle: int | None = None,
+        expected=None,
+        observed=None,
+    ) -> None:
+        super().__init__(message)
+        self.file = file
+        self.register = register
+        self.op_id = op_id
+        self.iteration = iteration
+        self.cycle = cycle
+        self.expected = expected
+        self.observed = observed
+
+
+@dataclass(frozen=True)
+class OccupancyStats:
+    """Observed register occupancy of one file over one execution.
+
+    ``peak`` is the maximum number of simultaneously busy cells -- a cell
+    is busy from the write of an instance to that instance's last read --
+    and must never exceed the file's claimed register count.  ``touched``
+    is the number of distinct physical cells ever written.
+    """
+
+    peak: int
+    touched: int
+    instances: int
 
 
 @dataclass
@@ -51,6 +92,10 @@ class RegisterFile:
         self.cells = [Cell() for _ in range(max(1, registers))]
         self.reads = 0
         self.writes = 0
+        #: (op_id, iteration) -> [write time, last access time]; the busy
+        #: window of each value instance, for post-hoc occupancy analysis.
+        self.instance_windows: dict[tuple[int, int], list[int]] = {}
+        self.cells_touched: set[int] = set()
 
     def holds(self, op_id: int) -> bool:
         return op_id in self.placements
@@ -64,7 +109,11 @@ class RegisterFile:
         """Write an instance into its cell; returns the cell index."""
         if not self.holds(op_id):
             raise RegisterFileError(
-                f"{self.name}: value {op_id} is not allocated here"
+                f"{self.name}: value {op_id} is not allocated here",
+                file=self.name,
+                op_id=op_id,
+                iteration=iteration,
+                cycle=time,
             )
         reg = self.physical_register(op_id, iteration)
         cell = self.cells[reg]
@@ -72,13 +121,19 @@ class RegisterFile:
         cell.value = value
         cell.written_at = time
         self.writes += 1
+        self.instance_windows[(op_id, iteration)] = [time, time]
+        self.cells_touched.add(reg)
         return reg
 
     def read(self, op_id: int, iteration: int, time: int) -> float:
         """Read an instance, checking ownership and write-before-read."""
         if not self.holds(op_id):
             raise RegisterFileError(
-                f"{self.name}: value {op_id} is not allocated here"
+                f"{self.name}: value {op_id} is not allocated here",
+                file=self.name,
+                op_id=op_id,
+                iteration=iteration,
+                cycle=time,
             )
         reg = self.physical_register(op_id, iteration)
         cell = self.cells[reg]
@@ -86,15 +141,50 @@ class RegisterFile:
             raise RegisterFileError(
                 f"{self.name}: r{reg} holds {cell.owner}, "
                 f"expected ({op_id}, {iteration}) at cycle {time} -- "
-                "a live register was overwritten"
+                "a live register was overwritten",
+                file=self.name,
+                register=reg,
+                op_id=op_id,
+                iteration=iteration,
+                cycle=time,
+                expected=(op_id, iteration),
+                observed=cell.owner,
             )
         if cell.written_at > time:
             raise RegisterFileError(
                 f"{self.name}: r{reg} read at {time} before write at "
-                f"{cell.written_at}"
+                f"{cell.written_at}",
+                file=self.name,
+                register=reg,
+                op_id=op_id,
+                iteration=iteration,
+                cycle=time,
+                expected=time,
+                observed=cell.written_at,
             )
         self.reads += 1
+        window = self.instance_windows.get((op_id, iteration))
+        if window is not None and time > window[1]:
+            window[1] = time
         return cell.value
 
+    def occupancy(self) -> OccupancyStats:
+        """Observed occupancy of this execution (sweep over busy windows)."""
+        events: list[tuple[int, int]] = []
+        for birth, death in self.instance_windows.values():
+            events.append((birth, 1))
+            events.append((death + 1, -1))
+        events.sort()
+        live = peak = 0
+        for _time, delta in events:
+            live += delta
+            if live > peak:
+                peak = live
+        return OccupancyStats(
+            peak=peak,
+            touched=len(self.cells_touched),
+            instances=len(self.instance_windows),
+        )
 
-__all__ = ["Cell", "RegisterFile", "RegisterFileError"]
+
+__all__ = ["Cell", "OccupancyStats", "RegisterFile", "RegisterFileError"]

@@ -59,6 +59,13 @@ class TestRunBench:
         assert snap["scenarios"]["dispatch"]["workers"] == 0
         assert snap["ratios"] == {}
 
+    def test_simulate_scenario_is_informational(self):
+        """The simulator timing rides along without a ratio, so an older
+        baseline can never gate (or fail) on it."""
+        snap = run_bench(n_loops=1, scenarios=("simulate",))
+        assert snap["scenarios"]["simulate"]["points"] == 7
+        assert snap["ratios"] == {}
+
 
 class TestRegressionGate:
     def test_passes_within_tolerance(self, snapshot, tmp_path):
@@ -160,6 +167,7 @@ class TestCli:
             "cold_legacy",
             "warm",
             "dispatch",
+            "simulate",
         )
 
     def test_gate_notes_stale_baseline(self, tmp_path, capsys):

@@ -12,6 +12,8 @@ from hypothesis import strategies as st
 
 from repro.ir.ddg import DependenceGraph
 from repro.ir.operation import Immediate, InvariantRef, OpType, ValueRef
+from repro.machine.config import clustered_config, paper_config
+from repro.spill.spiller import SpillError, spill_value, spillable_values
 
 _BINARY = (OpType.FADD, OpType.FSUB, OpType.FMUL, OpType.FDIV)
 _UNARY = (OpType.FNEG, OpType.FCONV)
@@ -23,13 +25,15 @@ def dependence_graphs(
     max_arith: int = 12,
     max_loads: int = 4,
     allow_recurrences: bool = True,
+    max_distance: int = 3,
 ) -> DependenceGraph:
     """A random valid dependence graph.
 
     Structure: some loads, a random arithmetic DAG over available values /
     invariants / immediates, optional distance>=1 back edges rewired into an
-    operand, and a store of the last value (keeping at least one memory op
-    so every graph has defined traffic).
+    operand (up to ``max_distance`` iterations back), and a store of the
+    last value (keeping at least one memory op so every graph has defined
+    traffic).
     """
     graph = DependenceGraph("hypothesis-loop")
     values: list[int] = []
@@ -64,7 +68,7 @@ def dependence_graphs(
         if target.operands:
             pos = draw(st.integers(0, len(target.operands) - 1))
             source = draw(st.sampled_from(values))
-            distance = draw(st.integers(1, 3))
+            distance = draw(st.integers(1, max_distance))
             operands = list(target.operands)
             operands[pos] = ValueRef(source, distance)
             graph.set_operands(target_id, operands)
@@ -75,4 +79,45 @@ def dependence_graphs(
     return graph
 
 
-__all__ = ["dependence_graphs"]
+@st.composite
+def high_pressure_graphs(draw) -> DependenceGraph:
+    """Adversarial graphs the differential suites share.
+
+    Dense arithmetic over many loads (high register pressure), loop-carried
+    distances up to 5, and 0-2 values pre-spilled through the real spiller
+    transform -- so the graph carries genuine ``sst``/``sld`` store/reload
+    chains with MEMORY edges, the shape the spill-until-fits loop produces
+    and the simulator must replay exactly.
+    """
+    graph = draw(
+        dependence_graphs(max_arith=24, max_loads=6, max_distance=5)
+    )
+    for _ in range(draw(st.integers(0, 2))):
+        candidates = spillable_values(graph)
+        if not candidates:
+            break
+        victim = draw(st.sampled_from(candidates))
+        try:
+            graph = spill_value(graph, victim)
+        except SpillError:
+            break
+    return graph
+
+
+def machines() -> st.SearchStrategy:
+    """Machine configurations the differential suites sweep.
+
+    Includes the single-cluster degenerate clustered machine -- dual
+    allocation with exactly one subfile -- alongside the paper machines.
+    """
+    return st.sampled_from(
+        (
+            paper_config(3),
+            paper_config(6),
+            clustered_config(1, 3),
+            clustered_config(4, 3),
+        )
+    )
+
+
+__all__ = ["dependence_graphs", "high_pressure_graphs", "machines"]

@@ -29,7 +29,7 @@ from repro.regalloc.maxlive import live_profile
 from repro.sched.modulo import modulo_schedule
 from repro.workloads.synthetic import generate_loop
 
-from strategies import dependence_graphs
+from strategies import dependence_graphs, high_pressure_graphs, machines
 
 SEEDS = range(24)
 
@@ -186,6 +186,25 @@ class TestBatchDifferential:
         for budget in (4, 12):
             for model in (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED):
                 jobs.append(evaluate_job(loop, machine, model, budget))
+        jobs.append(pressure_job(loop, machine))
+        out = {}
+        for tier in ("batch", "1", "0"):
+            with kernel.use_kernels(tier):
+                out[tier] = run_jobs(jobs, workers=0, cache=None)
+        assert out["batch"] == out["1"]
+        assert out["1"] == out["0"]
+
+    @given(high_pressure_graphs(), machines())
+    @settings(max_examples=10, deadline=None)
+    def test_engine_tiers_identical_under_pressure(self, graph, machine):
+        """The adversarial shapes the sim differential sweeps -- dense
+        arithmetic, pre-spilled store/reload chains, distance>1 edges,
+        degenerate single-cluster machines -- must also leave the kernel
+        tiers bit-identical at the ``run_jobs`` boundary."""
+        loop = Loop(name="hyp-pressure", graph=graph, trip_count=50)
+        jobs = [evaluate_job(loop, machine, Model.IDEAL, None)]
+        for model in (Model.UNIFIED, Model.PARTITIONED, Model.SWAPPED):
+            jobs.append(evaluate_job(loop, machine, model, 6))
         jobs.append(pressure_job(loop, machine))
         out = {}
         for tier in ("batch", "1", "0"):

@@ -1,0 +1,140 @@
+"""Simulator edge cases the differential gate leans on.
+
+Prologue live-ins (reads of iterations that never executed), the zero-
+divisor rule shared by the reference interpreter and the executor, and
+the port/bus accounting on empty and single-op schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.ddg import DependenceGraph
+from repro.ir.operation import Immediate, Operation, OpType, ValueRef
+from repro.machine.config import paper_config
+from repro.regalloc.allocation import allocate_unified
+from repro.sched.modulo import modulo_schedule
+from repro.sim.executor import PortStats, SimulationReport, execute_kernel
+from repro.sim.reference import ReferenceInterpreter, apply_op
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_config(6)
+
+
+def _execute(graph, machine, iterations):
+    schedule = modulo_schedule(graph, machine)
+    allocation = allocate_unified(schedule)
+    return execute_kernel(schedule, allocation, iterations=iterations)
+
+
+class TestPrologueLiveIns:
+    def test_distance_two_recurrence(self, machine):
+        """A value consumed at distance 2: iterations 0 and 1 read values
+        from ``iteration - 2 < 0``, which never executed.  The executor
+        must take those live-ins from the reference instead of checking a
+        register that was never written -- and still check every read
+        whose producing iteration did run."""
+        graph = DependenceGraph("prologue")
+        load = graph.add_operation(OpType.LOAD, symbol="arr0")
+        acc = graph.add_operation(
+            OpType.FADD, (ValueRef(load.op_id, 0), Immediate(1.0))
+        )
+        graph.set_operands(
+            acc.op_id,
+            [ValueRef(load.op_id, 0), ValueRef(acc.op_id, 2)],
+        )
+        graph.add_operation(
+            OpType.STORE, (ValueRef(acc.op_id, 0),), symbol="out"
+        )
+
+        report = _execute(graph, machine, iterations=5)
+        # Per iteration: acc reads load (5 checked) and itself at distance
+        # 2 (3 checked, 2 prologue live-ins), the store reads acc (5).
+        assert report.reads_checked == 5 + 3 + 5
+        assert report.iterations == 5
+
+    def test_distance_beyond_iteration_count(self, machine):
+        """Distance larger than the iteration count: *every* loop-carried
+        read is a prologue live-in, none are checked."""
+        graph = DependenceGraph("all-prologue")
+        load = graph.add_operation(OpType.LOAD, symbol="arr0")
+        acc = graph.add_operation(
+            OpType.FADD, (ValueRef(load.op_id, 0), Immediate(1.0))
+        )
+        graph.set_operands(
+            acc.op_id,
+            [ValueRef(load.op_id, 0), ValueRef(acc.op_id, 3)],
+        )
+        graph.add_operation(
+            OpType.STORE, (ValueRef(acc.op_id, 0),), symbol="out"
+        )
+        report = _execute(graph, machine, iterations=2)
+        assert report.reads_checked == 2 + 0 + 2
+
+
+class TestZeroDivisor:
+    def test_apply_op_treats_zero_divisor_as_one(self):
+        fdiv = Operation(
+            0, "div", OpType.FDIV, (Immediate(3.0), Immediate(0.0))
+        )
+        assert apply_op(fdiv, [3.0, 0.0]) == 3.0
+
+    def test_reference_matches_executor_rule(self, machine):
+        """A kernel dividing by a constant 0.0 executes cleanly: the
+        reference and the executor share the divisor-as-1.0 rule, so the
+        dataflow check cannot diverge on it."""
+        graph = DependenceGraph("zdiv")
+        load = graph.add_operation(OpType.LOAD, symbol="arr0")
+        div = graph.add_operation(
+            OpType.FDIV, (ValueRef(load.op_id, 0), Immediate(0.0))
+        )
+        graph.add_operation(
+            OpType.STORE, (ValueRef(div.op_id, 0),), symbol="out"
+        )
+        report = _execute(graph, machine, iterations=4)
+        assert report.reads_checked == 8
+        interp = ReferenceInterpreter(graph)
+        assert interp.value(div.op_id, 0) == interp.value(load.op_id, 0)
+
+
+class TestAccountingEdges:
+    def test_empty_port_stats(self):
+        stats = PortStats()
+        assert stats.max_reads == 0
+        assert stats.max_writes == 0
+
+    def test_empty_report(self):
+        report = SimulationReport(
+            iterations=0,
+            cycles=0,
+            reads_checked=0,
+            values_written=0,
+            memory_accesses=0,
+            bus_per_cycle={},
+            port_stats={},
+        )
+        assert report.bus_peak == 0
+        assert report.average_bus_usage(2) == 0.0
+        assert report.occupancy == {}
+        assert report.registers_claimed == {}
+
+    def test_single_op_schedule(self, machine):
+        """One store of an immediate: memory traffic with no register
+        traffic.  The bus sees exactly one access per iteration; the file
+        never holds a value, so occupancy stays at zero."""
+        graph = DependenceGraph("single")
+        graph.add_operation(OpType.STORE, (Immediate(2.5),), symbol="out")
+        report = _execute(graph, machine, iterations=6)
+        assert report.memory_accesses == report.iterations == 6
+        assert report.reads_checked == 0
+        assert report.values_written == 0
+        assert 1 <= report.bus_peak <= machine.memory_bandwidth
+        occupancy = report.occupancy["unified"]
+        assert occupancy.peak == 0
+        assert occupancy.touched == 0
+        assert occupancy.instances == 0
+        assert report.average_bus_usage(machine.memory_bandwidth) == (
+            6 / (report.cycles * machine.memory_bandwidth)
+        )
