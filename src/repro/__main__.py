@@ -10,10 +10,13 @@ Subcommands::
     python -m repro validate --loops 200 --samples 6   # sim cross-check
     python -m repro validate --kernel daxpy --budget 16
     python -m repro serve --port 8357             # the HTTP/JSON API
+    python -m repro serve --workers 4             # scale-out: 4 shard processes
     python -m repro bench --json BENCH.json --loops 200
     python -m repro bench --baseline benchmarks/baseline-ci.json --loops 8
     python -m repro cache show
+    python -m repro cache stats   # entry count and bytes on disk
     python -m repro cache prune   # drop entries orphaned by code edits
+    python -m repro cache prune --max-bytes 50000000   # ...and evict to size
     python -m repro cache clear
 
 ``run`` is the default: ``python -m repro --loops 200`` still works exactly
@@ -36,6 +39,7 @@ from repro.api import (
     SweepRequest,
     capabilities,
 )
+from repro.api.serve import DEFAULT_MAX_INFLIGHT
 from repro.bench import SCENARIOS as BENCH_SCENARIOS
 from repro.bench import main as _bench_main
 from repro.engine.cache import ResultCache, default_cache_dir
@@ -125,7 +129,71 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log each HTTP request to stderr",
     )
-    add_engine_arguments(serve_p)
+    serve_p.add_argument(
+        "--workers",
+        type=non_negative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker *processes* sharing the port and the on-disk result "
+            "cache; 0 serves single-process (default: 0)"
+        ),
+    )
+    serve_p.add_argument(
+        "--engine-workers",
+        type=non_negative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "compute worker processes per serving process (default: 0, "
+            "i.e. in-process evaluation; serve shards usually are the "
+            "parallelism)"
+        ),
+    )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=non_negative_int,
+        default=DEFAULT_MAX_INFLIGHT,
+        metavar="N",
+        help=(
+            "per-process bound on concurrently admitted requests; over "
+            f"it the server answers 429 + Retry-After; 0 disables "
+            f"(default: {DEFAULT_MAX_INFLIGHT})"
+        ),
+    )
+    serve_p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help=(
+            "per-process token-bucket rate limit, requests/second "
+            "sustained; 0 disables (default: 0)"
+        ),
+    )
+    serve_p.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help=(
+            "token-bucket burst size (default: max(rate, 1)); only "
+            "meaningful with --rate-limit"
+        ),
+    )
+    serve_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable the on-disk result cache (in scale-out mode this "
+            "also forfeits cross-process result sharing)"
+        ),
+    )
+    serve_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
 
     report_p = sub.add_parser(
         "report",
@@ -283,11 +351,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache_p.add_argument("action", choices=("show", "clear", "prune"))
+    cache_p.add_argument("action", choices=("show", "stats", "clear", "prune"))
     cache_p.add_argument(
         "--cache-dir",
         default=None,
         help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    cache_p.add_argument(
+        "--max-bytes",
+        type=non_negative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "with prune: after dropping orphans, evict oldest entries "
+            "until the cache fits in N bytes"
+        ),
     )
     return parser
 
@@ -396,15 +474,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.api.serve import run_server
+    from repro.api.serve import ServeConfig, serve
 
-    session = Session(engine=engine_from_args(args))
-    return run_server(
-        session,
-        host=args.host,
-        port=args.port,
-        port_file=args.port_file,
-        quiet=not args.verbose,
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = str(args.cache_dir or default_cache_dir())
+    return serve(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            engine_workers=args.engine_workers,
+            cache_dir=cache_dir,
+            max_inflight=args.max_inflight,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            port_file=args.port_file,
+            quiet=not args.verbose,
+        )
     )
 
 
@@ -412,9 +499,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(directory=args.cache_dir or default_cache_dir())
     if args.action == "show":
         print(cache.describe())
+    elif args.action == "stats":
+        usage = cache.disk_usage()
+        print(f"directory: {usage['directory']}")
+        print(f"entries:   {usage['entries']}")
+        print(f"bytes:     {usage['bytes']}")
     elif args.action == "prune":
         removed = cache.prune()
         print(f"pruned {removed} orphaned result(s)")
+        if args.max_bytes is not None:
+            evicted = cache.evict_over_size(args.max_bytes)
+            print(
+                f"evicted {evicted} result(s) to fit {args.max_bytes} bytes"
+            )
     else:
         removed = cache.clear()
         print(f"removed {removed} cached result(s)")

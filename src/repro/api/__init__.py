@@ -50,6 +50,7 @@ from repro.api.types import (
     ExperimentResponse,
     LoopSpec,
     MachineSpec,
+    PayloadTooLargeError,
     PressureRequest,
     PressureResponse,
     REQUEST_KINDS,
@@ -59,6 +60,7 @@ from repro.api.types import (
     ScheduleRequest,
     ScheduleResponse,
     SchemaVersionError,
+    ServerSaturatedError,
     SweepRequest,
     SweepResponse,
     UnknownExperimentError,
@@ -80,6 +82,7 @@ __all__ = [
     "LoopSpec",
     "MachineSpec",
     "Param",
+    "PayloadTooLargeError",
     "PressureRequest",
     "PressureResponse",
     "REQUEST_KINDS",
@@ -90,6 +93,7 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "SchemaVersionError",
+    "ServerSaturatedError",
     "Session",
     "SweepRequest",
     "SweepResponse",

@@ -95,6 +95,11 @@ class Session:
         self.ii_escalation = ii_escalation
         self._lock = threading.Lock()
         self.requests_served = 0
+        #: Optional :class:`repro.api.dispatch.BatchDispatcher`.  When
+        #: set (the scale-out serve workers do), single-job requests are
+        #: coalesced with concurrent ones into one engine batch instead
+        #: of mapping jobs one at a time under the lock.
+        self.dispatcher = None
         # Fail on a bad session default now, not on the first request.
         EvalJob(
             kind="pressure",
@@ -111,6 +116,9 @@ class Session:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the engine's worker pool; the session stays usable."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
+            self.dispatcher = None
         self.engine.close()
 
     def __enter__(self) -> "Session":
@@ -126,14 +134,20 @@ class Session:
         return (spec if spec is not None else self.machine).resolve()
 
     def _run_job(self, job: EvalJob):
-        """Execute one engine job; returns ``(result, served_from_cache)``."""
-        stats = self.engine.cache.stats if self.engine.cache else None
+        """Execute one engine job; returns ``(result, served_from_cache)``.
+
+        With a dispatcher installed the job rides a coalesced batch
+        (identical numbers; see :mod:`repro.api.dispatch`); either way
+        the ``cached`` flag is the engine's own per-position provenance,
+        not a stats-delta guess.
+        """
+        if self.dispatcher is not None:
+            return self.dispatcher.submit(job)
+        flags: list[bool] = []
         with self._lock:
-            hits_before = stats.hits if stats is not None else 0
-            result = self.engine.map([job])[0]
-            cached = stats is not None and stats.hits > hits_before
+            result = self.engine.map([job], cached_flags=flags)[0]
             self.requests_served += 1
-        return result, cached
+        return result, flags[0]
 
     def stats(self) -> dict:
         """Live session counters (the serve front-end's health payload).
@@ -245,16 +259,8 @@ class Session:
             cached=cached,
         )
 
-    def sweep(
-        self, request: SweepRequest, echo_progress: bool = False
-    ) -> SweepResponse:
-        """Execute a named grid; aggregates plus the rendered report."""
-        spec = request.to_spec()
-        with self._lock:
-            outcome = run_sweep(
-                spec, engine=self.engine, echo_progress=echo_progress
-            )
-            self.requests_served += 1
+    @staticmethod
+    def _sweep_response(spec, outcome) -> SweepResponse:
         return SweepResponse(
             name=spec.name,
             kind=spec.kind,
@@ -267,6 +273,102 @@ class Session:
             cache_misses=outcome.cache_stats.get("misses", 0),
             text=format_outcome(outcome),
         )
+
+    def sweep(
+        self, request: SweepRequest, echo_progress: bool = False
+    ) -> SweepResponse:
+        """Execute a named grid; aggregates plus the rendered report."""
+        spec = request.to_spec()
+        with self._lock:
+            outcome = run_sweep(
+                spec, engine=self.engine, echo_progress=echo_progress
+            )
+            self.requests_served += 1
+        return self._sweep_response(spec, outcome)
+
+    def sweep_stream(self, request: SweepRequest):
+        """Execute a sweep, yielding partial outcomes as points complete.
+
+        A generator of JSON-shaped events (the serve front-end writes
+        them as newline-delimited JSON):
+
+        * ``{"event": "point", ...}`` per finished grid point, in
+          completion order -- under the default batch tier that means one
+          burst per loop group as its shared chain resolves;
+        * ``{"event": "result", "response": {...}}`` with the full
+          :class:`SweepResponse` dict, exactly what the non-streaming
+          endpoint returns;
+        * ``{"event": "error", "error": {...}}`` instead of ``result``
+          if the sweep fails mid-flight (the envelope matches the
+          non-streaming error shape).
+
+        The sweep runs in a worker thread (holding the session lock like
+        any other sweep) while the caller's thread drains events, so a
+        slow consumer never stalls the engine -- events queue up
+        unboundedly, but a sweep's point count is bounded by its spec.
+        """
+        import queue as _queue
+
+        from repro.engine.sweep import build_points
+
+        spec = request.to_spec()
+        points = build_points(spec)  # deterministic: same order run_sweep uses
+        total = len(points)
+        events: "_queue.SimpleQueue" = _queue.SimpleQueue()
+
+        def on_result(index, job, result):
+            point = points[index]
+            events.put(
+                {
+                    "event": "point",
+                    "index": index,
+                    "total": total,
+                    "loop": result.loop_name,
+                    "machine": point.machine,
+                    "model": point.model,
+                    "budget": point.budget,
+                    "ii": result.ii,
+                    "fits": getattr(result, "fits", None),
+                }
+            )
+
+        def worker():
+            try:
+                with self._lock:
+                    previous = self.engine.on_result
+                    self.engine.on_result = on_result
+                    try:
+                        outcome = run_sweep(spec, engine=self.engine)
+                    finally:
+                        self.engine.on_result = previous
+                    self.requests_served += 1
+                response = self._sweep_response(spec, outcome)
+                events.put(
+                    {"event": "result", "response": response.to_dict()}
+                )
+            except Exception as exc:  # noqa: BLE001 - streamed envelope
+                status = exc.status if isinstance(exc, ApiError) else 500
+                events.put(
+                    {
+                        "event": "error",
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                            "status": status,
+                        },
+                    }
+                )
+            finally:
+                events.put(None)
+
+        threading.Thread(
+            target=worker, name="repro-sweep-stream", daemon=True
+        ).start()
+        while True:
+            item = events.get()
+            if item is None:
+                return
+            yield item
 
     def experiment(self, request: ExperimentRequest) -> ExperimentResponse:
         """Run one registry entry; validated params, rendered report."""

@@ -83,6 +83,32 @@ class UnknownExperimentError(ApiError):
     status = 404
 
 
+class PayloadTooLargeError(RequestValidationError):
+    """A request body exceeded the front-end's size cap.
+
+    Distinct from a generic validation failure so clients (and load
+    balancers) can tell "shrink the body" apart from "fix the fields";
+    the serve front-end maps it to HTTP 413.
+    """
+
+    status = 413
+
+
+class ServerSaturatedError(ApiError):
+    """The front-end is at capacity (in-flight queue full or rate limited).
+
+    Carries ``retry_after`` (seconds, possibly fractional) so the serve
+    layer can emit a ``Retry-After`` header with the 429; in-process
+    callers can sleep on it directly.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 def _check(condition: bool, message: str) -> None:
     if not condition:
         raise RequestValidationError(message)
@@ -776,6 +802,7 @@ __all__ = [
     "LoopSpec",
     "MAX_SUITE_LOOPS",
     "MachineSpec",
+    "PayloadTooLargeError",
     "PressureRequest",
     "PressureResponse",
     "REQUEST_KINDS",
@@ -787,6 +814,7 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "SchemaVersionError",
+    "ServerSaturatedError",
     "SweepRequest",
     "SweepResponse",
     "UnknownExperimentError",

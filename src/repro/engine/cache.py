@@ -7,9 +7,24 @@ written under another schema, or does not match its name is treated as a
 miss, deleted, and counted in :attr:`CacheStats.corrupt` -- a damaged cache
 degrades to recomputation, never to wrong numbers.
 
-Writes go through a temp file + :func:`os.replace` so a crash mid-write
-cannot leave a truncated entry behind, and concurrent writers of the same
-key (e.g. two sweeps racing) simply last-write-win identical content.
+The disk tier is a **shared backend**: any number of processes (sweep
+workers, ``repro serve`` shards, separate CLI invocations, restarts) may
+read and write the same directory concurrently.  The concurrency contract
+rests on three properties:
+
+* **Atomic publication.**  Writes land in a same-directory temp file and
+  are published with :func:`os.replace`, so a reader sees either the old
+  entry, no entry, or the complete new entry -- never a torn one.  A crash
+  mid-write leaves only a ``.tmp-*`` orphan (reclaimed by
+  :meth:`ResultCache.clean_stale_tmp`), not a truncated entry.
+* **Content-addressed keys.**  Concurrent writers of one key are writing
+  identical bytes (the key fingerprints the computation), so last-write-
+  wins is not a race -- both replicas published the same result.
+* **Locked maintenance.**  Mutating sweeps (:meth:`ResultCache.prune`,
+  :meth:`ResultCache.evict_over_size`, :meth:`ResultCache.clear`) take an
+  advisory inter-process file lock so two long-lived replicas pruning the
+  same directory do not duplicate (or interleave) the work; reads and
+  writes never lock.
 
 The in-process LRU makes repeated points *within* one run free even when
 the disk cache is disabled; it is bounded so paper-scale sweeps cannot
@@ -18,9 +33,11 @@ balloon resident memory.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +52,43 @@ from repro.engine.jobs import (
 )
 
 DEFAULT_MEMORY_ENTRIES = 65536
+
+#: A ``.tmp-*`` file older than this is a crash leftover, not an in-flight
+#: write (writes are milliseconds), and is safe to reclaim.
+STALE_TMP_SECONDS = 3600.0
+
+
+@contextlib.contextmanager
+def _maintenance_lock(directory: Path):
+    """Advisory inter-process lock for cache maintenance sweeps.
+
+    Best-effort by design: on platforms without :mod:`fcntl` (or on
+    filesystems rejecting ``flock``) maintenance proceeds unlocked --
+    every individual deletion is already safe (``missing_ok``), the lock
+    only prevents two replicas from duplicating a sweep's work.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    if not directory.is_dir():  # nothing to maintain, nothing to create
+        yield
+        return
+    lock_path = directory / ".maintenance.lock"
+    try:
+        handle = open(lock_path, "a+")
+    except OSError:  # read-only cache: sweep unlocked (it will no-op)
+        yield
+        return
+    try:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        except OSError:  # pragma: no cover - flock-less filesystem
+            pass
+        yield
+    finally:
+        handle.close()
 
 
 def default_cache_dir() -> Path:
@@ -216,13 +270,93 @@ class ResultCache:
                 continue
         return total
 
+    def disk_usage(self) -> dict:
+        """Entry count and byte total of the disk tier, JSON-shaped.
+
+        The health endpoint and ``repro cache stats`` both read this, so
+        operators and the load harness see one set of numbers.
+        """
+        entries = 0
+        total = 0
+        for p in self._disk_files():
+            try:
+                total += p.stat().st_size
+            except OSError:  # unlinked by a concurrent clear/evict
+                continue
+            entries += 1
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "entries": entries,
+            "bytes": total,
+        }
+
     def clear(self) -> int:
         """Drop every entry from both tiers; returns files removed."""
         self._memory.clear()
-        files = self._disk_files()
-        for path in files:
-            path.unlink(missing_ok=True)
+        if self.directory is None:
+            return 0
+        with _maintenance_lock(self.directory):
+            files = self._disk_files()
+            for path in files:
+                path.unlink(missing_ok=True)
         return len(files)
+
+    def evict_over_size(self, max_bytes: int) -> int:
+        """Evict least-recently-written entries until the tier fits.
+
+        Long-lived serve replicas call this (via ``repro cache prune
+        --max-bytes``) to bound disk growth; entries go oldest-mtime
+        first, so the hottest (most recently re-written or freshly
+        computed) results survive.  Returns the number of files removed.
+        Safe against concurrent replicas: the sweep holds the maintenance
+        lock, and a file deleted under us is simply skipped.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if self.directory is None:
+            return 0
+        removed = 0
+        with _maintenance_lock(self.directory):
+            self.clean_stale_tmp()
+            aged: list[tuple[float, int, Path]] = []
+            total = 0
+            for path in self._disk_files():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                aged.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            aged.sort()
+            for _mtime, size, path in aged:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - read-only cache
+                    continue
+                total -= size
+                removed += 1
+        return removed
+
+    def clean_stale_tmp(self, max_age: float = STALE_TMP_SECONDS) -> int:
+        """Reclaim ``.tmp-*`` orphans left by writers that crashed mid-put.
+
+        A healthy write holds its temp file for milliseconds, so anything
+        older than ``max_age`` is debris.  Returns files removed.
+        """
+        if self.directory is None or not self.directory.exists():
+            return 0
+        cutoff = time.time() - max_age
+        removed = 0
+        for path in self.directory.glob("*/.tmp-*"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+            except OSError:  # raced with its writer or another cleaner
+                continue
+        return removed
 
     def prune(self) -> int:
         """Remove entries no *current* job can ever look up again.
@@ -235,27 +369,31 @@ class ResultCache:
         entries, so sweeping them automatically would thrash.  Returns the
         number of files removed; valid current entries are untouched.
         """
+        if self.directory is None:
+            return 0
         current = source_fingerprint()
         removed = 0
-        for path in self._disk_files():
-            try:
-                text = path.read_text()
-            except OSError:
-                continue  # transient I/O: leave the file alone
-            try:
-                payload = json.loads(text)
-                if (
-                    payload["schema"] == ENGINE_SCHEMA_VERSION
-                    and payload.get("source") == current
-                ):
+        with _maintenance_lock(self.directory):
+            self.clean_stale_tmp()
+            for path in self._disk_files():
+                try:
+                    text = path.read_text()
+                except OSError:
+                    continue  # transient I/O: leave the file alone
+                try:
+                    payload = json.loads(text)
+                    if (
+                        payload["schema"] == ENGINE_SCHEMA_VERSION
+                        and payload.get("source") == current
+                    ):
+                        continue
+                except (ValueError, KeyError, TypeError):
+                    pass  # malformed: orphaned either way
+                try:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                except OSError:  # pragma: no cover - read-only cache
                     continue
-            except (ValueError, KeyError, TypeError):
-                pass  # malformed: orphaned either way
-            try:
-                path.unlink(missing_ok=True)
-                removed += 1
-            except OSError:  # pragma: no cover - read-only cache
-                continue
         return removed
 
     def describe(self) -> str:
@@ -275,6 +413,7 @@ class ResultCache:
 __all__ = [
     "CacheStats",
     "DEFAULT_MEMORY_ENTRIES",
+    "STALE_TMP_SECONDS",
     "ResultCache",
     "default_cache_dir",
 ]

@@ -44,6 +44,11 @@ from repro.machine.config import MachineConfig
 #: Callback signature: ``progress(done, total)`` after every finished job.
 ProgressFn = Callable[[int, int], None]
 
+#: Callback signature: ``on_result(index, job, result)`` as each job's
+#: result lands (cache hits first, then computed jobs in completion
+#: order).  The serve front-end's streaming sweeps hang off this.
+ResultFn = Callable[[int, EvalJob, JobResult], None]
+
 
 def default_workers() -> int:
     """Worker-count default: one process per core, at least one."""
@@ -139,6 +144,8 @@ def run_jobs(
     chunksize: int | None = None,
     progress: ProgressFn | None = None,
     pool_factory: "Callable[[], multiprocessing.pool.Pool | None] | None" = None,
+    cached_flags: list[bool] | None = None,
+    on_result: ResultFn | None = None,
 ) -> list[JobResult]:
     """Execute ``jobs`` and return their results in the same order.
 
@@ -152,6 +159,13 @@ def run_jobs(
     it is invoked only once cache misses actually require workers (an
     all-hits warm run must not pay worker startup), and a pool it returns
     is used without being closed.
+
+    ``cached_flags``, when given, is filled (in place, one bool per job)
+    with each job's provenance: ``True`` for results served without fresh
+    computation *for that position* -- cache hits and in-batch duplicates
+    -- ``False`` for positions that actually ran the pipeline.  The serve
+    front-end's per-request ``cached`` field reads this.  ``on_result``
+    fires per finished position (see :data:`ResultFn`).
     """
     if workers is None:
         workers = default_workers()
@@ -160,6 +174,10 @@ def run_jobs(
 
     total = len(jobs)
     results: list[JobResult | None] = [None] * total
+    if cached_flags is not None:
+        # Positions start as "served from cache"; finish() flips the ones
+        # that actually computed.  Hits and duplicates stay True.
+        cached_flags[:] = [True] * total
     misses: list[tuple[int, EvalJob]] = []
     seen_keys: dict[str, int] = {}
     duplicates: list[tuple[int, int]] = []  # (index, first index with key)
@@ -173,6 +191,8 @@ def run_jobs(
         cached = cache.get(job) if cache is not None else None
         if cached is not None:
             results[index] = _relabel(job, cached)
+            if on_result is not None:
+                on_result(index, job, results[index])
             continue
         seen_keys[job.key] = index
         misses.append((index, job))
@@ -186,9 +206,14 @@ def run_jobs(
     ) -> None:
         nonlocal done
         results[index] = _relabel(job, result)
-        if fresh and cache is not None:
-            cache.put(job, result)
+        if fresh:
+            if cache is not None:
+                cache.put(job, result)
+            if cached_flags is not None:
+                cached_flags[index] = False
         done += 1
+        if on_result is not None:
+            on_result(index, job, results[index])
         if progress is not None:
             progress(done, total)
 
@@ -255,6 +280,9 @@ class Engine:
     workers: int | None = None
     cache: ResultCache | None = None
     progress: ProgressFn | None = None
+    #: Per-result hook (see :data:`ResultFn`); a per-call ``on_result``
+    #: passed to :meth:`map` takes precedence for that call.
+    on_result: ResultFn | None = None
     jobs_run: int = field(default=0, init=False)
     _pool: "multiprocessing.pool.Pool | None" = field(
         default=None, init=False, repr=False
@@ -291,8 +319,17 @@ class Engine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def map(self, jobs: Sequence[EvalJob]) -> list[JobResult]:
-        """Execute jobs (cached, pooled) preserving order."""
+    def map(
+        self,
+        jobs: Sequence[EvalJob],
+        cached_flags: list[bool] | None = None,
+        on_result: ResultFn | None = None,
+    ) -> list[JobResult]:
+        """Execute jobs (cached, pooled) preserving order.
+
+        ``cached_flags``/``on_result`` pass straight through to
+        :func:`run_jobs` (per-position cache provenance, per-result hook).
+        """
         self.jobs_run += len(jobs)
         return run_jobs(
             jobs,
@@ -300,6 +337,8 @@ class Engine:
             cache=self.cache,
             progress=self.progress,
             pool_factory=self._shared_pool,
+            cached_flags=cached_flags,
+            on_result=on_result if on_result is not None else self.on_result,
         )
 
     # ------------------------------------------------------------------
@@ -367,6 +406,7 @@ def serial_engine() -> Engine:
 __all__ = [
     "Engine",
     "ProgressFn",
+    "ResultFn",
     "default_workers",
     "run_jobs",
     "serial_engine",

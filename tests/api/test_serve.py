@@ -9,20 +9,31 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.api import API_SCHEMA_VERSION, Session
-from repro.api.serve import MAX_BODY_BYTES, ReproServer
+from repro.api.serve import MAX_BODY_BYTES, ReproServer, ServeConfig
 
 
-@pytest.fixture()
-def server():
+def _spawn(config: ServeConfig | None = None):
     session = Session()
-    instance = ReproServer(("127.0.0.1", 0), session)
+    instance = ReproServer(
+        ("127.0.0.1", 0), session, config=config
+    )
     thread = threading.Thread(target=instance.serve_forever, daemon=True)
     thread.start()
-    yield instance
+    return session, instance, thread
+
+
+def _teardown(session, instance, thread):
     instance.shutdown()
     thread.join(timeout=10)
     instance.server_close()
     session.close()
+
+
+@pytest.fixture()
+def server():
+    session, instance, thread = _spawn()
+    yield instance
+    _teardown(session, instance, thread)
 
 
 def _request(server, method, path, body=None, raw=None):
@@ -157,15 +168,19 @@ class TestErrorEnvelopes:
             head = sock.recv(64)
         assert b"400" in head.split(b"\r\n", 1)[0]
 
-    def test_oversized_body_is_400(self, server):
+    def test_oversized_body_is_413(self, server):
         status, body = _request(
             server,
             "POST",
             "/v1/pressure",
             raw=b" " * (MAX_BODY_BYTES + 1),
         )
-        assert status == 400
-        assert "exceeds" in body["error"]["message"]
+        assert status == 413
+        assert body["error"]["type"] == "PayloadTooLargeError"
+        assert body["error"]["status"] == 413
+        # The envelope is diagnosable: it names both sizes.
+        assert str(MAX_BODY_BYTES) in body["error"]["message"]
+        assert str(MAX_BODY_BYTES + 1) in body["error"]["message"]
 
 
 class TestSharedCache:
@@ -195,6 +210,151 @@ class TestSharedCache:
         _, health = _request(server, "GET", "/v1/health")
         assert health["result"]["cache"]["hits"] >= 5
         assert health["result"]["requests_served"] >= 6
+
+
+class TestBackpressure:
+    def test_rate_limit_answers_429_with_retry_after(self):
+        session, instance, thread = _spawn(
+            ServeConfig(rate_limit=0.25, burst=1.0)
+        )
+        try:
+            first = _request(instance, "POST", "/v1/pressure", PRESSURE)
+            assert first[0] == 200
+            status, body = _request(
+                instance, "POST", "/v1/pressure", PRESSURE
+            )
+            assert status == 429 and not body["ok"]
+            assert body["error"]["type"] == "ServerSaturatedError"
+            assert "rate limit" in body["error"]["message"]
+        finally:
+            _teardown(session, instance, thread)
+
+    def test_retry_after_header_is_present_and_positive(self):
+        session, instance, thread = _spawn(
+            ServeConfig(rate_limit=0.25, burst=1.0)
+        )
+        try:
+            _request(instance, "POST", "/v1/pressure", PRESSURE)
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{instance.port}/v1/pressure",
+                data=json.dumps(PRESSURE).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            error = excinfo.value
+            error.read()
+            assert error.code == 429
+            assert int(error.headers["Retry-After"]) >= 1
+        finally:
+            _teardown(session, instance, thread)
+
+    def test_health_is_exempt_from_rate_limiting(self):
+        session, instance, thread = _spawn(
+            ServeConfig(rate_limit=0.25, burst=1.0)
+        )
+        try:
+            _request(instance, "POST", "/v1/pressure", PRESSURE)
+            for _ in range(3):
+                status, body = _request(instance, "GET", "/v1/health")
+                assert status == 200 and body["ok"]
+        finally:
+            _teardown(session, instance, thread)
+
+    def test_inflight_gate_refuses_over_capacity(self):
+        from repro.api.dispatch import InflightGate
+
+        session, instance, thread = _spawn(ServeConfig(max_inflight=1))
+        try:
+            assert isinstance(instance.gate, InflightGate)
+            # Hold the single slot open, then poke a request through.
+            assert instance.gate.try_enter()
+            status, body = _request(
+                instance, "POST", "/v1/pressure", PRESSURE
+            )
+            assert status == 429
+            assert "capacity" in body["error"]["message"]
+            instance.gate.exit()
+            status, _ = _request(instance, "POST", "/v1/pressure", PRESSURE)
+            assert status == 200
+        finally:
+            _teardown(session, instance, thread)
+
+
+class TestStreaming:
+    def test_stream_emits_points_then_result(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/sweep?stream=1",
+            data=json.dumps({"name": "rf-size", "n_loops": 3}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            assert response.status == 200
+            assert "ndjson" in response.headers["Content-Type"]
+            events = [json.loads(line) for line in response if line.strip()]
+        assert all(e["ok"] for e in events)
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "result"
+        points = [e for e in events if e["event"] == "point"]
+        assert len(points) == events[-1]["response"]["points"]
+        assert {p["index"] for p in points} == set(range(len(points)))
+        assert all(p["total"] == len(points) for p in points)
+        # The trailing result is exactly the non-streaming payload.
+        status, plain = _request(
+            server, "POST", "/v1/sweep", {"name": "rf-size", "n_loops": 3}
+        )
+        assert status == 200
+        streamed = dict(events[-1]["response"])
+        expected = dict(plain["result"])
+        for volatile in ("elapsed", "cache_hits", "cache_misses", "text"):
+            streamed.pop(volatile), expected.pop(volatile)
+        assert streamed == expected
+
+    def test_stream_request_validation_still_an_http_error(self, server):
+        status, body = _request(
+            server, "POST", "/v1/sweep?stream=1", {"name": "no-such-sweep"}
+        )
+        assert status == 400 and not body["ok"]
+
+    def test_stream_flag_off_is_plain_response(self, server):
+        status, body = _request(
+            server, "POST", "/v1/sweep?stream=0",
+            {"name": "rf-size", "n_loops": 3},
+        )
+        assert status == 200 and body["ok"]
+        assert body["result"]["points"] > 0
+
+
+class TestHealthDetails:
+    def test_health_reports_worker_pool_and_disk_cache(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.pool import Engine
+
+        session = Session(
+            engine=Engine(cache=ResultCache(directory=tmp_path / "cache"))
+        )
+        config = ServeConfig(workers=0, max_inflight=7, cache_dir="x")
+        instance = ReproServer(("127.0.0.1", 0), session, config=config)
+        thread = threading.Thread(
+            target=instance.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            _request(instance, "POST", "/v1/evaluate", EVALUATE)
+            status, body = _request(instance, "GET", "/v1/health")
+            assert status == 200
+            result = body["result"]
+            assert result["worker"]["index"] == 0
+            assert result["worker"]["pid"] > 0
+            assert result["worker"]["inflight"] >= 0
+            assert result["pool"]["max_inflight"] == 7
+            assert result["pool"]["shards"] == 0
+            assert result["disk_cache"]["entries"] >= 1
+            assert result["disk_cache"]["bytes"] > 0
+        finally:
+            _teardown(session, instance, thread)
 
 
 class TestShutdown:

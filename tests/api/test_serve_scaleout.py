@@ -1,0 +1,150 @@
+"""Scale-out serve, end to end: real subprocesses, one shared cache.
+
+These tests spawn ``python -m repro serve --workers 2`` the way an
+operator would and exercise the supervisor protocol (heartbeats, crash
+respawn, graceful shutdown) and the shared-cache semantics across shard
+processes.  They are the integration layer over the unit tests in
+``test_dispatch.py`` / ``test_cache_concurrency.py``.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api.loadtest import (
+    LoadStats,
+    ServerProcess,
+    build_workload,
+    percentile,
+    run_load,
+)
+
+EVALUATE = {
+    "loop": {"kind": "kernel", "name": "daxpy"},
+    "model": "unified",
+    "register_budget": 16,
+}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One 2-shard server for the whole module (startup costs ~1s)."""
+    with ServerProcess(workers=2) as server:
+        yield server
+
+
+class TestScaleOutServing:
+    def test_health_reports_every_live_worker(self, cluster):
+        status, body = cluster.request("health")
+        assert status == 200 and body["ok"]
+        result = body["result"]
+        assert result["pool"]["shards"] == 2
+        assert result["pool"]["coalesce"] is True
+        workers = {w["index"]: w for w in result["workers"]}
+        assert set(workers) == {0, 1}
+        assert all(w["alive"] for w in workers.values())
+        assert len({w["pid"] for w in workers.values()}) == 2
+
+    def test_result_computed_by_one_shard_is_cached_for_all(self, cluster):
+        body = dict(EVALUATE, register_budget=24)
+        first = cluster.request("evaluate", body)[1]["result"]
+        # Every subsequent request must be a hit no matter which shard
+        # accepts the connection: the disk cache is the shared tier.
+        laters = [
+            cluster.request("evaluate", body)[1]["result"] for _ in range(6)
+        ]
+        assert sum(not r["cached"] for r in [first] + laters) <= 1
+        assert {r["ii"] for r in [first] + laters} == {first["ii"]}
+
+    def test_load_run_is_error_free_and_complete(self, cluster):
+        bodies = build_workload("cold", 4)
+        stats = run_load(cluster.url, bodies, clients=8)
+        assert stats.errors == 0, stats.error_samples
+        assert stats.requests == len(bodies)
+        assert stats.p99_ms > 0
+
+    def test_crashed_shard_is_respawned(self, cluster):
+        workers = cluster.request("health")[1]["result"]["workers"]
+        victim = workers[0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15
+        revived = None
+        while time.monotonic() < deadline:
+            time.sleep(0.3)
+            try:
+                current = cluster.request("health")[1]["result"]["workers"]
+            except OSError:
+                continue
+            alive = [w for w in current if w["alive"]]
+            if len(alive) == 2 and victim not in {w["pid"] for w in alive}:
+                revived = alive
+                break
+        assert revived is not None, "killed shard was not respawned"
+
+
+class TestShutdownProtocol:
+    def test_wire_shutdown_winds_down_every_process(self):
+        with ServerProcess(workers=2) as server:
+            pid = server.process.pid
+            assert server.request("evaluate", EVALUATE)[0] == 200
+            assert server.shutdown() is True
+            assert server.process.returncode == 0
+        # The process group is really gone (no orphaned shards).
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
+
+    def test_sigterm_is_a_clean_exit(self):
+        with ServerProcess(workers=2) as server:
+            server.process.terminate()
+            server.process.wait(timeout=30)
+            assert server.process.returncode == 0
+            server.clean_exit = True  # prevent double-shutdown on exit
+
+
+class TestLoadHarness:
+    def test_workload_shapes_and_determinism(self):
+        cold = build_workload("cold", 3)
+        assert len(cold) == 3 * 7  # ideal + 2 budgets x 3 models
+        assert len({id(b) for b in cold}) == len(cold)
+        mixed_a = build_workload("mixed", 3)
+        mixed_b = build_workload("mixed", 3)
+        assert mixed_a == mixed_b  # seeded shuffle: same order every time
+        assert len(mixed_a) == 2 * len(cold)
+        warm = build_workload("warm", 3)
+        assert warm == cold
+
+    def test_workload_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_workload("hot", 3)
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == pytest.approx(50.0, abs=1.0)
+        assert percentile(values, 99) == pytest.approx(99.0, abs=1.0)
+        assert percentile([], 99) == 0.0
+        assert percentile([7.0], 0) == 7.0
+
+    def test_load_stats_shapes(self):
+        stats = LoadStats(
+            requests=10, elapsed=2.0, latencies=[0.1] * 9 + [0.5]
+        )
+        assert stats.points_per_sec == 5.0
+        assert stats.p50_ms == pytest.approx(100.0)
+        assert stats.p99_ms == pytest.approx(500.0)
+        payload = stats.as_dict()
+        assert payload["points_per_sec"] == 5.0
+        assert payload["p99_ms"] == 500.0
+
+    def test_rate_limited_server_throttles_then_serves_all(self):
+        """429s are honored (Retry-After) and every body still lands."""
+        with ServerProcess(
+            workers=0, rate_limit=30.0, extra_args=("--burst", "2")
+        ) as server:
+            bodies = build_workload("cold", 1)
+            stats = run_load(server.url, bodies, clients=4)
+            assert server.shutdown() is True
+        assert stats.errors == 0, stats.error_samples
+        assert stats.requests == len(bodies)
+        assert stats.throttled > 0
