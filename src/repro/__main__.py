@@ -9,6 +9,8 @@ Subcommands::
     python -m repro report --check   # exit non-zero unless paper reproduced
     python -m repro validate --loops 200 --samples 6   # sim cross-check
     python -m repro validate --kernel daxpy --budget 16
+    python -m repro validate --static --loops 200   # prove ALL points, no sim
+    python -m repro lint                            # repo invariant lints
     python -m repro serve --port 8357             # the HTTP/JSON API
     python -m repro serve --workers 4             # scale-out: 4 shard processes
     python -m repro bench --json BENCH.json --loops 200
@@ -298,6 +300,42 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulated iterations per point (default: auto from stages)",
     )
+    validate_p.add_argument(
+        "--static",
+        action="store_true",
+        help=(
+            "statically prove every point of the suite grid (100%% "
+            "coverage, no simulation): dependences, reservation table, "
+            "allocation, and spill accounting checked analytically"
+        ),
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help=(
+            "run the repo's AST lint rules (determinism, frozen wire "
+            "types, cache-locking, registry completeness, typing)"
+        ),
+    )
+    lint_p.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="source root to lint (default: the installed repro package)",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named rule(s); repeat the flag for several",
+    )
+    lint_p.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list the rule catalog and exit",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -436,6 +474,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.validate import run_sampled_validation
     from repro.workloads.suite import DEFAULT_SEED
 
+    if args.static:
+        # Full-coverage analytical proof: every suite point, no sampling
+        # and no simulation (O(ops) per point -- see repro.check).
+        from repro.check import run_static_validation
+
+        result = run_static_validation(
+            n_loops=args.loops, latency=args.latency
+        )
+        print(result.format())
+        return 0 if result.ok else 1
+
     if args.kernel is not None:
         # Single-kernel mode rides the typed facade: one ValidateRequest
         # per model, the same wire shape a serve client would POST.
@@ -471,6 +520,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     )
     print(result.format())
     return 0 if result.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.check.lint import format_report, list_rules, run_lint
+
+    if args.list_rules:
+        for name, doc in list_rules():
+            print(f"{name}: {doc}")
+        return 0
+    report = run_lint(root=args.root, rules=args.rule)
+    print(format_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -524,6 +585,7 @@ HANDLERS = {
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
     "serve": _cmd_serve,
     "bench": _bench_main,
     "cache": _cmd_cache,

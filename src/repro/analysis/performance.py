@@ -10,7 +10,7 @@ models below it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.models import Model
 from repro.ir.loop import Loop
@@ -64,7 +64,7 @@ def run_model(
     machine: MachineConfig,
     model: Model,
     register_budget: int | None,
-    **kwargs,
+    **kwargs: Any,
 ) -> ModelRun:
     """Evaluate a workload under one model and register budget."""
     evaluations = tuple(
@@ -84,7 +84,7 @@ def run_all_models(
     machine: MachineConfig,
     register_budget: int,
     models: Sequence[Model] = tuple(Model),
-    **kwargs,
+    **kwargs: Any,
 ) -> dict[Model, ModelRun]:
     """Evaluate a workload under every model at one register budget."""
     return {

@@ -32,8 +32,13 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from typing import TYPE_CHECKING, Callable
 
 from repro.api.types import ServerSaturatedError
+from repro.engine.jobs import EvalJob, JobResult
+
+if TYPE_CHECKING:
+    from repro.api.session import Session
 
 
 class TokenBucket:
@@ -46,8 +51,8 @@ class TokenBucket:
         self,
         rate: float,
         burst: float | None = None,
-        clock=time.monotonic,
-    ):
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.rate = float(rate)
         self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
         if self.rate > 0 and self.burst < 1.0:
@@ -80,7 +85,7 @@ class InflightGate:
     the current in-flight count for the health endpoint.
     """
 
-    def __init__(self, limit: int, retry_after: float = 1.0):
+    def __init__(self, limit: int, retry_after: float = 1.0) -> None:
         self.limit = int(limit)
         self.retry_after = retry_after
         self._count = 0
@@ -110,7 +115,7 @@ class InflightGate:
             )
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.exit()
 
 
@@ -127,10 +132,10 @@ class BatchDispatcher:
 
     def __init__(
         self,
-        session,
+        session: "Session",
         linger: float = 0.002,
         max_batch: int = 512,
-    ):
+    ) -> None:
         if linger < 0:
             raise ValueError("linger must be >= 0")
         if max_batch < 1:
@@ -152,7 +157,7 @@ class BatchDispatcher:
         """Jobs waiting for (or riding in) a dispatch round."""
         return self._queue.qsize()
 
-    def submit(self, job):
+    def submit(self, job: EvalJob) -> tuple[JobResult, bool]:
         """Execute ``job`` via the next batch; returns ``(result, cached)``.
 
         Called from handler threads; blocks until the dispatcher round
@@ -186,7 +191,9 @@ class BatchDispatcher:
             self._thread.start()
             self._started = True
 
-    def _drain(self, first) -> list:
+    def _drain(
+        self, first: tuple[EvalJob, Future]
+    ) -> list[tuple[EvalJob, Future]]:
         """One round's worth of work: ``first`` plus the linger window."""
         batch = [first]
         deadline = time.monotonic() + self.linger

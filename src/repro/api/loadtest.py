@@ -168,11 +168,11 @@ def run_load(
     stats = LoadStats()
     stats_lock = threading.Lock()
 
-    def pull():
+    def pull() -> tuple[int, dict] | None:
         with work_lock:
             return next(work, None)
 
-    def client_main():
+    def client_main() -> None:
         conn = http.client.HTTPConnection(host, port, timeout=timeout)
         local_lat: list[float] = []
         served = throttled = errors = cached = 0
@@ -275,7 +275,7 @@ class ServerProcess:
         rate_limit: float | None = None,
         extra_args: tuple[str, ...] = (),
         startup_timeout: float = 30.0,
-    ):
+    ) -> None:
         self.workers = workers
         self.cache_dir = cache_dir
         self.engine_workers = engine_workers
@@ -340,7 +340,9 @@ class ServerProcess:
         self.terminate()
         raise RuntimeError("serve subprocess never wrote its port file")
 
-    def request(self, op: str, body: dict | None = None, timeout=10.0):
+    def request(
+        self, op: str, body: dict | None = None, timeout: float = 10.0
+    ) -> tuple[int, dict]:
         """One wire request against the server; returns the envelope."""
         host, port = _parse_url(self.url)
         conn = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -390,7 +392,7 @@ class ServerProcess:
             return ""
         return self.process.stdout.read() or ""
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         try:
             self.shutdown()
         finally:

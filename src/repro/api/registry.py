@@ -18,7 +18,7 @@ byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.api.types import (
     API_SCHEMA_VERSION,
@@ -28,6 +28,10 @@ from repro.api.types import (
 )
 from repro.core.models import Model
 from repro.core.swapping import SwapEstimator
+if TYPE_CHECKING:
+    from repro.engine.pool import Engine
+    from repro.ir.loop import Loop
+
 from repro.engine.sweep import (
     NAMED_SWEEPS,
     format_outcome,
@@ -65,7 +69,7 @@ class Param:
     maximum: int | None = None
     nullable: bool = False
 
-    def coerce(self, value):
+    def coerce(self, value: object) -> object:
         """Validate one supplied value against the schema; returns it."""
         if value is None:
             if not self.nullable:
@@ -161,11 +165,11 @@ class Experiment:
             validated[param.name] = param.coerce(value)
         return validated
 
-    def run(self, engine=None, **params):
+    def run(self, engine: "Engine | None" = None, **params: object) -> object:
         """Validate ``params`` and execute the driver."""
         return self.runner(engine=engine, **self.validate(params))
 
-    def format(self, result) -> str:
+    def format(self, result: object) -> str:
         return self.formatter(result)
 
     def describe(self) -> dict:
@@ -245,7 +249,7 @@ def capabilities() -> dict:
 # ----------------------------------------------------------------------
 # Registrations
 # ----------------------------------------------------------------------
-def _suite(loops: int, seed: int):
+def _suite(loops: int, seed: int) -> "list[Loop]":
     # Reuses the spec-resolution cache: repeated experiment requests for
     # the same (size, seed) must not regenerate the synthetic suite.
     from repro.api.types import _suite_loops
@@ -438,9 +442,13 @@ register_experiment(
 
 
 def _run_validate_entry(
-    engine=None, loops=200, samples=6, seed=DEFAULT_SEED, latency=6,
-    iterations=None,
-):
+    engine: "Engine | None" = None,
+    loops: int = 200,
+    samples: int = 6,
+    seed: int = DEFAULT_SEED,
+    latency: int = 6,
+    iterations: int | None = None,
+) -> object:
     # Imported lazily: repro.validate drives the pipeline and simulator;
     # the registry must stay importable without either.  The engine is
     # deliberately unused -- validation verdicts must come from executing
@@ -506,7 +514,51 @@ register_experiment(
 )
 
 
-def _run_suite_entry(engine=None, loops=200, spill_loops=None):
+def _run_check_entry(
+    engine: "Engine | None" = None, loops: int = 200, latency: int = 6
+) -> object:
+    # Imported lazily, like validate's: repro.check drives the pipeline.
+    # The engine is unused for the same reason -- proofs must come from
+    # evaluating this build, never from cached results.
+    from repro.check import run_static_validation
+
+    return run_static_validation(n_loops=loops, latency=latency)
+
+
+register_experiment(
+    Experiment(
+        name="check",
+        kind="experiment",
+        title="Static proof -- full-grid schedule/allocation verification",
+        description=(
+            "Statically prove every suite point under every model: "
+            "dependence legality, modulo reservation table, allocation "
+            "disjointness and register-count minimality, and spill/"
+            "traffic accounting -- O(ops) per point, no simulation, "
+            "100% coverage."
+        ),
+        params=(
+            _LOOPS,
+            Param(
+                "latency",
+                "int",
+                default=6,
+                minimum=1,
+                maximum=64,
+                help="paper-machine FP latency to prove under",
+            ),
+        ),
+        runner=_run_check_entry,
+        formatter=lambda result: result.format(),
+    )
+)
+
+
+def _run_suite_entry(
+    engine: "Engine | None" = None,
+    loops: int = 200,
+    spill_loops: int | None = None,
+) -> object:
     # Imported lazily: the runner iterates this registry for its sections,
     # so the import must happen at call time to keep the layering one-way.
     from repro.experiments.runner import run_suite
@@ -514,7 +566,7 @@ def _run_suite_entry(engine=None, loops=200, spill_loops=None):
     return run_suite(loops, spill_loops, engine=engine)
 
 
-def _format_suite_entry(result) -> str:
+def _format_suite_entry(result: object) -> str:
     from repro.experiments.runner import format_suite
 
     return format_suite(result)
@@ -576,8 +628,13 @@ def _sweep_entry(name: str) -> Experiment:
             )
         )
 
-    def run(engine=None, loops=None, seed=None, victim_policy=None,
-            ii_escalation=None):
+    def run(
+        engine: "Engine | None" = None,
+        loops: int | None = None,
+        seed: int | None = None,
+        victim_policy: str | None = None,
+        ii_escalation: str | None = None,
+    ) -> object:
         overrides: dict = {}
         if loops is not None:
             overrides["n_loops"] = loops

@@ -127,7 +127,9 @@ class WorkerHeartbeat:
     no extra sockets, works across fork and respawn.
     """
 
-    def __init__(self, state_dir: Path, index: int, interval: float = 0.5):
+    def __init__(
+        self, state_dir: Path, index: int, interval: float = 0.5
+    ) -> None:
         self.state_dir = Path(state_dir)
         self.index = index
         self.interval = interval
@@ -140,7 +142,9 @@ class WorkerHeartbeat:
     def path(self) -> Path:
         return self.state_dir / f"worker-{self.index}.json"
 
-    def beat(self, inflight: int = 0, queue_depth: int = 0, force=False):
+    def beat(
+        self, inflight: int = 0, queue_depth: int = 0, force: bool = False
+    ) -> None:
         """Refresh the heartbeat file (throttled unless ``force``)."""
         now = time.time()
         with self._lock:
@@ -209,14 +213,14 @@ class ReproServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        address,
+        address: tuple[str, int],
         session: Session,
         quiet: bool = True,
         config: ServeConfig | None = None,
         worker_index: int = 0,
         state_dir: str | Path | None = None,
         sock: socket.socket | None = None,
-    ):
+    ) -> None:
         self.session = session
         self.quiet = quiet
         self.config = config if config is not None else ServeConfig(
@@ -248,7 +252,7 @@ class ReproServer(ThreadingHTTPServer):
     def port(self) -> int:
         return self.server_address[1]
 
-    def handle_error(self, request, client_address):
+    def handle_error(self, request: object, client_address: object) -> None:
         """Swallow benign client disconnects; report real faults."""
         import sys as _sys
 
@@ -283,7 +287,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _ok(self, result) -> None:
+    def _ok(self, result: object) -> None:
         self._send(200, {"ok": True, "result": result})
 
     def _fail(
@@ -321,7 +325,9 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._fail(500, type(exc).__name__, str(exc))
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+    def log_message(
+        self, format: str, *args: object
+    ) -> None:  # noqa: A002 - stdlib signature
         if not self.server.quiet:  # pragma: no cover - debugging aid
             super().log_message(format, *args)
 
@@ -522,8 +528,8 @@ class _Handler(BaseHTTPRequestHandler):
 # ----------------------------------------------------------------------
 # Single-process serving
 # ----------------------------------------------------------------------
-def _graceful_signals(server) -> object | None:
-    def _graceful(signum, frame):  # pragma: no cover - signal path
+def _graceful_signals(server: "ReproServer") -> object | None:
+    def _graceful(signum: int, frame: object) -> None:  # pragma: no cover
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     try:  # signals exist only in the main thread; tests run in others
@@ -622,7 +628,7 @@ def _shard_main(
         sock=sock,
     )
 
-    def _graceful(signum, frame):  # pragma: no cover - signal path
+    def _graceful(signum: int, frame: object) -> None:  # pragma: no cover
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _graceful)
@@ -692,7 +698,7 @@ def run_sharded(config: ServeConfig) -> int:
     gave_up = False
     quick_deaths = {index: 0 for index in shards}
 
-    def _stop_signal(signum, frame):  # pragma: no cover - signal path
+    def _stop_signal(signum: int, frame: object) -> None:  # pragma: no cover
         stop.set()
 
     previous_term = signal.signal(signal.SIGTERM, _stop_signal)

@@ -27,6 +27,11 @@ from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.machine.config import MachineConfig
 
 from repro.api.registry import get_experiment
 from repro.api.types import (
@@ -52,9 +57,16 @@ from repro.api.types import (
 )
 from repro.core.swapping import SwapEstimator
 from repro.engine.cache import ResultCache
-from repro.engine.jobs import EvalJob, evaluate_job, pressure_job
+from repro.engine.jobs import EvalJob, JobResult, evaluate_job, pressure_job
 from repro.engine.pool import Engine
-from repro.engine.sweep import aggregate_rows, format_outcome, outcome_headers, run_sweep
+from repro.engine.sweep import (
+    SweepOutcome,
+    SweepSpec,
+    aggregate_rows,
+    format_outcome,
+    outcome_headers,
+    run_sweep,
+)
 
 
 class Session:
@@ -76,13 +88,13 @@ class Session:
         *,
         engine: Engine | None = None,
         workers: int = 0,
-        cache_dir=None,
+        cache_dir: str | Path | None = None,
         machine: MachineSpec | None = None,
         swap_estimator: str = SwapEstimator.MAXLIVE.value,
         victim_policy: str = "longest",
         pressure_strategy: str = "spill",
         ii_escalation: str = "increment",
-    ):
+    ) -> None:
         if engine is None:
             engine = Engine(
                 workers=workers, cache=ResultCache(directory=cache_dir)
@@ -124,16 +136,16 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _machine(self, spec: MachineSpec | None):
+    def _machine(self, spec: MachineSpec | None) -> MachineConfig:
         return (spec if spec is not None else self.machine).resolve()
 
-    def _run_job(self, job: EvalJob):
+    def _run_job(self, job: EvalJob) -> tuple[JobResult, bool]:
         """Execute one engine job; returns ``(result, served_from_cache)``.
 
         With a dispatcher installed the job rides a coalesced batch
@@ -260,7 +272,9 @@ class Session:
         )
 
     @staticmethod
-    def _sweep_response(spec, outcome) -> SweepResponse:
+    def _sweep_response(
+        spec: SweepSpec, outcome: SweepOutcome
+    ) -> SweepResponse:
         return SweepResponse(
             name=spec.name,
             kind=spec.kind,
@@ -286,7 +300,7 @@ class Session:
             self.requests_served += 1
         return self._sweep_response(spec, outcome)
 
-    def sweep_stream(self, request: SweepRequest):
+    def sweep_stream(self, request: SweepRequest) -> Iterator[dict]:
         """Execute a sweep, yielding partial outcomes as points complete.
 
         A generator of JSON-shaped events (the serve front-end writes
@@ -316,7 +330,7 @@ class Session:
         total = len(points)
         events: "_queue.SimpleQueue" = _queue.SimpleQueue()
 
-        def on_result(index, job, result):
+        def on_result(index: int, job: EvalJob, result: JobResult) -> None:
             point = points[index]
             events.put(
                 {
@@ -332,7 +346,7 @@ class Session:
                 }
             )
 
-        def worker():
+        def worker() -> None:
             try:
                 with self._lock:
                     previous = self.engine.on_result
@@ -421,6 +435,7 @@ class Session:
                 loop_spec=request.loop.to_dict(),
                 machine_spec=machine_spec.to_dict(),
             ),
+            static=request.static,
         )
         with self._lock:
             self.requests_served += 1
@@ -434,6 +449,11 @@ class Session:
             mismatches=len(report.mismatches),
             ok=report.ok,
             text=report.describe(),
+            static_findings=(
+                len(report.static.findings)
+                if report.static is not None
+                else -1
+            ),
         )
 
     def report(self, request: ReportRequest) -> ReportResponse:
@@ -451,6 +471,11 @@ class Session:
             from repro.validate import DEFAULT_SAMPLES
 
             sim_samples = DEFAULT_SAMPLES if request.check else 0
+        static_check = request.static_check
+        if static_check is None:
+            # --check statically proves *all* points (simulation stays
+            # sampled); a plain artifact render skips the proof.
+            static_check = request.check
         with self._lock:
             result = generate_report(
                 n_loops=request.n_loops,
@@ -461,6 +486,7 @@ class Session:
                 stamp=request.stamp,
                 sim_samples=sim_samples,
                 sim_seed=request.sim_seed,
+                static_check=static_check,
             )
             self.requests_served += 1
         gated, failed = gate_summary(result.deltas)
@@ -482,6 +508,21 @@ class Session:
             ),
             sim_summary=(
                 result.sim.describe() if result.sim is not None else None
+            ),
+            static_points=(
+                len(result.static.points)
+                if result.static is not None
+                else 0
+            ),
+            static_findings=(
+                result.static.findings_count
+                if result.static is not None
+                else 0
+            ),
+            static_summary=(
+                result.static.describe()
+                if result.static is not None
+                else None
             ),
         )
 

@@ -25,7 +25,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, ClassVar
+from typing import Callable, ClassVar, Iterable, TypeVar
+
+T = TypeVar("T", bound="WireMessage")
 
 from repro.core.models import Model
 from repro.core.swapping import SwapEstimator
@@ -104,7 +106,7 @@ class ServerSaturatedError(ApiError):
 
     status = 429
 
-    def __init__(self, message: str, retry_after: float = 1.0):
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message)
         self.retry_after = retry_after
 
@@ -114,7 +116,7 @@ def _check(condition: bool, message: str) -> None:
         raise RequestValidationError(message)
 
 
-def _choice(value: str, known, what: str) -> None:
+def _choice(value: str, known: Iterable[str], what: str) -> None:
     _check(
         value in tuple(known),
         f"unknown {what} {value!r} (known: {', '.join(sorted(known))})",
@@ -124,7 +126,7 @@ def _choice(value: str, known, what: str) -> None:
 # ----------------------------------------------------------------------
 # Serialization base
 # ----------------------------------------------------------------------
-def _encode(value):
+def _encode(value: object) -> object:
     """Recursively lower a wire value to JSON-safe types."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
@@ -155,7 +157,7 @@ class WireMessage:
         return data
 
     @classmethod
-    def from_dict(cls, data: dict):
+    def from_dict(cls: "type[T]", data: dict) -> "T":
         if not isinstance(data, dict):
             raise RequestValidationError(
                 f"{cls.KIND} payload must be an object, not "
@@ -195,15 +197,15 @@ class WireMessage:
             raise RequestValidationError(f"{cls.KIND}: {exc}") from None
 
 
-def _ints(values) -> tuple[int, ...]:
+def _ints(values: Iterable[object]) -> tuple[int, ...]:
     return tuple(int(v) for v in values)
 
 
-def _strs(values) -> tuple[str, ...]:
+def _strs(values: Iterable[object]) -> tuple[str, ...]:
     return tuple(str(v) for v in values)
 
 
-def _rows(values) -> tuple[tuple, ...]:
+def _rows(values: Iterable[Iterable[object]]) -> tuple[tuple, ...]:
     return tuple(tuple(row) for row in values)
 
 
@@ -525,6 +527,9 @@ class ValidateRequest(WireMessage):
     register_budget: int | None = None
     tiers: tuple[str, ...] = VALIDATE_TIERS
     iterations: int | None = None
+    #: Also prove the point analytically (repro.check) -- the O(ops)
+    #: static tier.  On by default; an additive field, no schema bump.
+    static: bool = True
     schema_version: int = API_SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -555,8 +560,10 @@ class ReportRequest(WireMessage):
     (:mod:`repro.validate`); ``None`` runs the default sample when
     ``check`` is set and skips it otherwise, ``0`` disables it outright.
     ``sim_seed`` drives sample selection, so a fixed seed validates the
-    same points on every run.  (New optional fields with defaults: not a
-    schema bump per the policy above.)
+    same points on every run.  ``static_check`` runs the full-grid
+    static proof (:mod:`repro.check`) over 100% of suite points;
+    ``None`` follows ``check``.  (New optional fields with defaults:
+    not a schema bump per the policy above.)
     """
 
     KIND: ClassVar[str] = "report"
@@ -570,6 +577,7 @@ class ReportRequest(WireMessage):
     stamp: bool = True
     sim_samples: int | None = None
     sim_seed: int = DEFAULT_SEED
+    static_check: bool | None = None
     schema_version: int = API_SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -707,6 +715,9 @@ class ValidateResponse(WireMessage):
     mismatches: int
     ok: bool
     text: str
+    #: Findings of the static proof, already folded into ``mismatches``
+    #: and ``ok``; -1 when the caller disabled the static tier.
+    static_findings: int = -1
     schema_version: int = API_SCHEMA_VERSION
 
 
@@ -734,6 +745,9 @@ class ReportResponse(WireMessage):
     sim_points: int = 0
     sim_mismatches: int = 0
     sim_summary: str | None = None
+    static_points: int = 0
+    static_findings: int = 0
+    static_summary: str | None = None
     schema_version: int = API_SCHEMA_VERSION
 
 

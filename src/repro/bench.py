@@ -47,15 +47,19 @@ reported as notes, never spurious failures.  See ``docs/performance.md``.
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
 import time
 from pathlib import Path
+from typing import Callable, Iterator, Sequence
 
 from repro import kernel
 from repro.analysis.reporting import format_table
 from repro.core.models import Model
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
 from repro.engine.jobs import evaluate_job
 from repro.engine.pool import run_jobs
 from repro.machine.config import paper_config
@@ -79,6 +83,7 @@ SCENARIOS = (
     "warm",
     "dispatch",
     "simulate",
+    "check",
     "serve_single",
     "serve_throughput",
 )
@@ -105,7 +110,9 @@ SERVE_LOOPS = 24
 RATIO_TOLERANCES = {"serve_scaleout": 0.5}
 
 
-def bench_grid(loops, machine):
+def bench_grid(
+    loops: Sequence[Loop], machine: MachineConfig
+) -> Iterator[tuple[Loop, MachineConfig, Model, int | None]]:
     """One Ideal point plus models x budgets per loop, in driver order."""
     for loop in loops:
         yield loop, machine, Model.IDEAL, None
@@ -117,7 +124,9 @@ def bench_grid(loops, machine):
 _grid = bench_grid  # backward-compatible private alias
 
 
-def _run_grid(loops, machine, store) -> int:
+def _run_grid(
+    loops: Sequence[Loop], machine: MachineConfig, store: ArtifactStore
+) -> int:
     points = 0
     for loop, mach, model, budget in bench_grid(loops, machine):
         run_evaluation(loop, mach, model, budget, store=store)
@@ -125,7 +134,7 @@ def _run_grid(loops, machine, store) -> int:
     return points
 
 
-def _timed(fn, repeats: int) -> tuple[float, int]:
+def _timed(fn: Callable[[], int], repeats: int) -> tuple[float, int]:
     """Best-of-``repeats`` wall time: the minimum is the least noisy
     estimate of the code's cost on a shared host (CI runners included)."""
     best = None
@@ -223,6 +232,24 @@ def run_bench(
         with kernel.use_kernels("1"):
             seconds, points = _timed(_simulate, repeats)
         record("simulate", seconds, points)
+    if "check" in scenarios:
+        # The static gate's hot path: prove every suite point's schedule
+        # and allocation analytically, cold (fresh store per repeat) --
+        # this is the cost of running the prover on 100% of the grid,
+        # the number that justifies static-always where sim samples.
+        # Imported lazily: repro.check rides the validate layering.
+        from repro.check import run_static_validation
+
+        def _check() -> int:
+            result = run_static_validation(loops=loops, latency=LATENCY)
+            if not result.ok:
+                raise RuntimeError(
+                    f"check bench disproved points: {result.format()}"
+                )
+            return len(result.points)
+
+        seconds, points = _timed(_check, repeats)
+        record("check", seconds, points)
     if "dispatch" in scenarios:
         jobs = [
             evaluate_job(loop, mach, model, budget)
@@ -247,11 +274,16 @@ def run_bench(
     if serve_wanted:
         # Lazy import: the load harness spawns subprocess servers and has
         # no business on the import graph of a plain bench run.
-        from repro.api.loadtest import ServerProcess, build_workload, run_load
+        from repro.api.loadtest import (
+            LoadStats,
+            ServerProcess,
+            build_workload,
+            run_load,
+        )
 
         bodies = build_workload("mixed", SERVE_LOOPS)
 
-        def _serve_stats(shards: int):
+        def _serve_stats(shards: int) -> LoadStats:
             """Best-of-``repeats`` load run; fresh server+cache each time."""
             best = None
             for _ in range(repeats):
@@ -426,7 +458,7 @@ def baseline_gaps(snapshot: dict, baseline_path: str | Path) -> list[str]:
     return gaps
 
 
-def main(args) -> int:
+def main(args: argparse.Namespace) -> int:
     """CLI entry (wired by :mod:`repro.__main__`)."""
     scenarios = tuple(args.scenario) if args.scenario else SCENARIOS
     snapshot = run_bench(

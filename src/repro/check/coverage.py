@@ -1,0 +1,192 @@
+"""Full-grid static verification: prove 100% of points, not a sample.
+
+The dynamic gate (:mod:`repro.validate.sampling`) executes a seeded
+sample because cycle-accurate simulation costs ``cycles x iterations``
+per point.  The static proof is O(ops + edges) per point, so this module
+simply walks the *entire* suite grid -- every loop under every register
+file model -- and proves each evaluated point with
+:func:`repro.check.invariants.check_evaluation`.  ``repro validate
+--static`` and the report's check gate call this; the bench ``check``
+scenario times it to document that 100% coverage is affordable.
+
+Layering: ``check`` sits below ``validate`` (validate imports check and
+folds findings into its reports), so the model grid and suite defaults
+are defined here rather than imported from the sampling module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.check.invariants import StaticCheck, check_evaluation
+from repro.core.models import Model
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig, paper_config
+from repro.pipeline.context import ArtifactStore
+from repro.pipeline.pipelines import run_evaluation
+from repro.workloads.suite import DEFAULT_SEED, perfect_club_like
+
+DEFAULT_LATENCY = 6
+
+# Same grid the sampled dynamic gate draws from: the unconstrained
+# baseline plus the paper's three register-file organizations.
+CHECK_MODELS: tuple[tuple[Model, int | None], ...] = (
+    (Model.IDEAL, None),
+    (Model.UNIFIED, 32),
+    (Model.PARTITIONED, 16),
+    (Model.SWAPPED, 16),
+)
+
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class StaticValidation:
+    """Outcome of statically proving a whole suite grid."""
+
+    n_loops: int
+    suite_seed: int
+    latency: int
+    models: tuple[tuple[Model, int | None], ...]
+    points: tuple[StaticCheck, ...]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(point.ok for point in self.points)
+
+    @property
+    def failures(self) -> tuple[StaticCheck, ...]:
+        return tuple(point for point in self.points if not point.ok)
+
+    @property
+    def findings_count(self) -> int:
+        return sum(len(point.findings) for point in self.points)
+
+    @property
+    def points_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.points) / self.wall_seconds
+
+    def describe(self) -> str:
+        """One footer-sized line: what was proved and at what rate."""
+        verdict = (
+            "all proved"
+            if self.ok
+            else f"{len(self.failures)} point(s) disproved "
+            f"({self.findings_count} finding(s))"
+        )
+        return (
+            f"{self.n_loops} loops x {len(self.models)} models = "
+            f"{len(self.points)} points statically verified, {verdict} "
+            f"({self.points_per_second:.0f} points/sec)"
+        )
+
+    def format(self) -> str:
+        """Full text form (the ``repro validate --static`` output)."""
+        lines = [
+            f"static check: {self.describe()}",
+            f"suite: {self.n_loops} loops (seed {self.suite_seed}), "
+            f"paper machine L{self.latency}",
+            f"wall time: {self.wall_seconds:.1f}s",
+        ]
+        for point in self.failures:
+            lines.append(point.describe())
+        if self.ok:
+            lines.append(
+                "every point's schedule and allocation is proved legal"
+            )
+        return "\n".join(lines)
+
+
+def check_grid_point(
+    loop: Loop,
+    machine: MachineConfig,
+    model: Model,
+    register_budget: int | None,
+    reproducer: dict | None = None,
+    store: ArtifactStore | None = None,
+    **knobs: object,
+) -> StaticCheck:
+    """Evaluate one point and statically prove it."""
+    evaluation = run_evaluation(
+        loop, machine, model, register_budget, store=store, **knobs
+    )
+    return check_evaluation(evaluation, reproducer=reproducer)
+
+
+def run_static_validation(
+    n_loops: int = 200,
+    suite_seed: int = DEFAULT_SEED,
+    latency: int = DEFAULT_LATENCY,
+    models: Sequence[tuple[Model, int | None]] = CHECK_MODELS,
+    loops: Iterable[Loop] | None = None,
+    progress: ProgressFn | None = None,
+) -> StaticValidation:
+    """Statically verify every point of the suite grid.
+
+    Unlike the sampled simulator gate this covers 100% of points; one
+    shared :class:`ArtifactStore` keeps the evaluation side warm so the
+    cost is dominated by the proofs themselves.
+    """
+    start = time.perf_counter()
+    suite = (
+        list(loops)
+        if loops is not None
+        else list(perfect_club_like(n_loops, seed=suite_seed))
+    )
+    machine = paper_config(latency)
+    store = ArtifactStore()
+    grid = tuple(models)
+    total = len(suite) * len(grid)
+    points: list[StaticCheck] = []
+    for index, loop in enumerate(suite):
+        for model, budget in grid:
+            reproducer = {
+                "loop": {
+                    "type": "loop",
+                    "kind": "suite",
+                    "index": index,
+                    "n_loops": len(suite),
+                    "seed": suite_seed,
+                },
+                "machine": {
+                    "type": "machine",
+                    "kind": "paper",
+                    "latency": latency,
+                },
+                "model": model.value,
+                "register_budget": budget,
+            }
+            points.append(
+                check_grid_point(
+                    loop,
+                    machine,
+                    model,
+                    budget,
+                    reproducer=reproducer,
+                    store=store,
+                )
+            )
+            if progress is not None:
+                progress(len(points), total)
+    return StaticValidation(
+        n_loops=len(suite),
+        suite_seed=suite_seed,
+        latency=latency,
+        models=grid,
+        points=tuple(points),
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+__all__ = [
+    "CHECK_MODELS",
+    "DEFAULT_LATENCY",
+    "StaticValidation",
+    "check_grid_point",
+    "run_static_validation",
+]

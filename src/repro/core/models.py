@@ -21,6 +21,7 @@ from repro.core.clustering import ClusterAssignment, scheduler_assignment
 from repro.core.dualfile import DualAllocation, allocate_dual
 from repro.core.swapping import SwapEstimator, SwapResult, greedy_swap
 from repro.regalloc.allocation import UnifiedAllocation, allocate_unified
+from repro.regalloc.lifetimes import Lifetime
 from repro.sched.schedule import Schedule
 
 
@@ -60,7 +61,7 @@ class Requirement:
 def unified_requirement(
     schedule: Schedule,
     model: Model = Model.UNIFIED,
-    lts=None,
+    lts: dict[int, Lifetime] | None = None,
     unified: UnifiedAllocation | None = None,
 ) -> Requirement:
     """Requirement of the single-file models (Ideal reports it too)."""
@@ -72,7 +73,9 @@ def unified_requirement(
 
 
 def partitioned_requirement(
-    schedule: Schedule, assignment=None, lts=None
+    schedule: Schedule,
+    assignment: ClusterAssignment | None = None,
+    lts: dict[int, Lifetime] | None = None,
 ) -> Requirement:
     """Requirement of the dual file under the scheduler's own assignment."""
     if assignment is None:
@@ -86,7 +89,7 @@ def partitioned_requirement(
 def swapped_requirement(
     schedule: Schedule,
     swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
-    lts=None,
+    lts: dict[int, Lifetime] | None = None,
 ) -> Requirement:
     """Requirement of the dual file after the greedy swapping post-pass.
 
@@ -107,8 +110,8 @@ def required_registers(
     schedule: Schedule,
     model: Model,
     swap_estimator: SwapEstimator = SwapEstimator.MAXLIVE,
-    lts=None,
-    assignment=None,
+    lts: dict[int, Lifetime] | None = None,
+    assignment: ClusterAssignment | None = None,
 ) -> Requirement:
     """Compute the register requirement of ``schedule`` under ``model``.
 

@@ -39,6 +39,7 @@ import os
 import tempfile
 import time
 from collections import OrderedDict
+from typing import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -59,7 +60,7 @@ STALE_TMP_SECONDS = 3600.0
 
 
 @contextlib.contextmanager
-def _maintenance_lock(directory: Path):
+def _maintenance_lock(directory: Path) -> "Iterator[None]":
     """Advisory inter-process lock for cache maintenance sweeps.
 
     Best-effort by design: on platforms without :mod:`fcntl` (or on

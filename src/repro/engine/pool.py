@@ -316,7 +316,7 @@ class Engine:
     def __enter__(self) -> "Engine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def map(

@@ -436,7 +436,7 @@ NAMED_SWEEPS: dict[str, SweepSpec] = {
 }
 
 
-def named_sweep(name: str, **overrides) -> SweepSpec:
+def named_sweep(name: str, **overrides: object) -> SweepSpec:
     """A registry sweep with field overrides (``n_loops``, ``seeds``...)."""
     try:
         spec = NAMED_SWEEPS[name]

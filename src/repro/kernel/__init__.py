@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import Iterator
 
 _TIERS = ("0", "1", "batch")
 
@@ -94,7 +95,7 @@ def set_kernels(enabled: "bool | str") -> str:
 
 
 @contextmanager
-def use_kernels(enabled: "bool | str"):
+def use_kernels(enabled: "bool | str") -> Iterator[None]:
     """Scoped kernel-tier override, used by differential tests and benches."""
     prior = set_kernels(enabled)
     try:

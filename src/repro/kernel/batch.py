@@ -273,7 +273,7 @@ class _Node:
         la: LoopArrays | None = None,
         mii: int | None = None,
         extra: list[tuple[int, int, int, int]] | None = None,
-    ):
+    ) -> None:
         self.chain = chain
         self.min_ii = min_ii
         #: Memory/spill op counts per iteration, maintained incrementally:
@@ -638,7 +638,7 @@ class LoopChain:
         victim_policy: str = "longest",
         pressure_strategy: str = "spill",
         ii_escalation: str = "increment",
-    ):
+    ) -> None:
         if not supports(victim_policy, pressure_strategy):
             raise ValueError(
                 f"victim policy {victim_policy!r} has no array "

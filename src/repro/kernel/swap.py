@@ -41,7 +41,7 @@ class _MaxLiveState:
         starts: list[int],
         ends: list[int],
         ii: int,
-    ):
+    ) -> None:
         self.la = la
         self.asg = asg
         self.starts = starts

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.clustering import ClusterAssignment, scheduler_assignment
 from repro.core.models import (
@@ -79,7 +80,7 @@ class ArtifactStore:
     hit is bit-identical to a recomputation by construction.
     """
 
-    def __init__(self, max_entries: int = 2048):
+    def __init__(self, max_entries: int = 2048) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
@@ -92,7 +93,7 @@ class ArtifactStore:
     def clear(self) -> None:
         self._entries.clear()
 
-    def memo(self, key: tuple, compute):
+    def memo(self, key: tuple, compute: Callable[[], object]) -> object:
         """Return the memoized value of ``key``, computing it on a miss."""
         try:
             value = self._entries[key]

@@ -31,7 +31,7 @@ from repro.ir.operation import Immediate, InvariantRef, ValueRef
 from repro.machine.config import MachineConfig
 
 
-def _operand_token(operand) -> list:
+def _operand_token(operand: object) -> list:
     if isinstance(operand, ValueRef):
         return ["v", operand.producer, operand.distance]
     if isinstance(operand, InvariantRef):
@@ -128,7 +128,7 @@ def machine_fingerprint(machine: MachineConfig) -> str:
     return result
 
 
-def digest(payload) -> str:
+def digest(payload: object) -> str:
     """SHA-256 of the canonical JSON form of ``payload``."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -84,7 +84,9 @@ class HighestLifetime:
 
     name = "longest"
 
-    def select(self, schedule, lts):
+    def select(
+        self, schedule: Schedule, lts: dict[int, Lifetime]
+    ) -> int | None:
         candidates = spillable_values(schedule.graph)
         if not candidates:
             return None
@@ -97,7 +99,9 @@ class MostRegisters:
 
     name = "most_registers"
 
-    def select(self, schedule, lts):
+    def select(
+        self, schedule: Schedule, lts: dict[int, Lifetime]
+    ) -> int | None:
         candidates = spillable_values(schedule.graph)
         if not candidates:
             return None
@@ -112,7 +116,9 @@ class FirstValue:
 
     name = "first"
 
-    def select(self, schedule, lts):
+    def select(
+        self, schedule: Schedule, lts: dict[int, Lifetime]
+    ) -> int | None:
         candidates = spillable_values(schedule.graph)
         if not candidates:
             return None
@@ -130,7 +136,9 @@ class MostConsumers:
 
     name = "most_consumers"
 
-    def select(self, schedule, lts):
+    def select(
+        self, schedule: Schedule, lts: dict[int, Lifetime]
+    ) -> int | None:
         consumers = consumer_map(schedule.graph)
         candidates = spillable_values(schedule.graph, consumers)
         if not candidates:
@@ -152,7 +160,9 @@ class LeastTraffic:
 
     name = "least_traffic"
 
-    def select(self, schedule, lts):
+    def select(
+        self, schedule: Schedule, lts: dict[int, Lifetime]
+    ) -> int | None:
         consumers = consumer_map(schedule.graph)
         candidates = spillable_values(schedule.graph, consumers)
         if not candidates:
@@ -248,13 +258,13 @@ class IncrementEscalation:
 
     name = "increment"
 
-    def __init__(self, stale_limit: int = 8):
+    def __init__(self, stale_limit: int = 8) -> None:
         self.stale_limit = stale_limit
 
-    def next_ii(self, current_ii):
+    def next_ii(self, current_ii: int) -> int:
         return current_ii + 1
 
-    def give_up(self, stale_escalations):
+    def give_up(self, stale_escalations: int) -> bool:
         return stale_escalations >= self.stale_limit
 
 
@@ -265,13 +275,13 @@ class GeometricEscalation:
 
     name = "geometric"
 
-    def __init__(self, stale_limit: int = 4):
+    def __init__(self, stale_limit: int = 4) -> None:
         self.stale_limit = stale_limit
 
-    def next_ii(self, current_ii):
+    def next_ii(self, current_ii: int) -> int:
         return max(current_ii + 1, (current_ii * 3) // 2)
 
-    def give_up(self, stale_escalations):
+    def give_up(self, stale_escalations: int) -> bool:
         return stale_escalations >= self.stale_limit
 
 

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check.coverage import StaticValidation
     from repro.validate.sampling import SampledValidation
 
 from repro.api.registry import get_experiment
@@ -47,6 +48,10 @@ class ReportResult:
     #: Sampled simulator cross-check outcome, when it ran (see
     #: :mod:`repro.validate.sampling`); ``None`` otherwise.
     sim: "SampledValidation | None" = None
+    #: Full-grid static proof outcome, when it ran (see
+    #: :mod:`repro.check.coverage`); covers 100% of suite points where
+    #: the simulator samples.  ``None`` otherwise.
+    static: "StaticValidation | None" = None
 
     @property
     def failed(self) -> list[Delta]:
@@ -54,8 +59,13 @@ class ReportResult:
 
     @property
     def ok(self) -> bool:
-        """Paper-delta gates pass *and* the sampled execution agrees."""
-        return not self.failed and (self.sim is None or self.sim.ok)
+        """Paper-delta gates pass, the sampled execution agrees, *and*
+        the full-grid static proof holds."""
+        return (
+            not self.failed
+            and (self.sim is None or self.sim.ok)
+            and (self.static is None or self.static.ok)
+        )
 
     def summary(self) -> str:
         gated, failed = gate_summary(self.deltas)
@@ -74,6 +84,14 @@ class ReportResult:
             lines.append(f"sim cross-check: {self.sim.describe()}")
             for mismatch in self.sim.mismatches:
                 lines.append("  SIM " + mismatch.describe().replace("\n", " "))
+        if self.static is not None:
+            lines.append(f"static check: {self.static.describe()}")
+            for point in self.static.failures:
+                for finding in point.findings:
+                    lines.append(
+                        "  STATIC "
+                        + finding.describe().replace("\n", " ")
+                    )
         if self.path is not None:
             lines.append(f"artifact: {self.path}")
         return "\n".join(lines)
@@ -88,6 +106,7 @@ def generate_report(
     stamp: bool = True,
     sim_samples: int = 0,
     sim_seed: int | None = None,
+    static_check: bool = False,
 ) -> ReportResult:
     """Run the suite and build (and optionally write) the artifact.
 
@@ -101,6 +120,11 @@ def generate_report(
     executed cycle-by-cycle under every model and kernel tier and checked
     against the analytical claims.  The outcome lands in the provenance
     footer and in :attr:`ReportResult.ok`.
+
+    ``static_check=True`` statically proves **every** point of the
+    report's suite grid (dependences, reservation table, allocation,
+    spill accounting -- see :mod:`repro.check`); simulation stays
+    sampled because it is orders of magnitude more expensive.
     """
     if fmt not in RENDERERS:
         raise ValueError(
@@ -124,6 +148,11 @@ def generate_report(
             samples=sim_samples,
             seed=DEFAULT_SEED if sim_seed is None else sim_seed,
         )
+    static = None
+    if static_check:
+        from repro.check.coverage import run_static_validation
+
+        static = run_static_validation(n_loops=n_loops)
     generated_at = (
         datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
         if stamp
@@ -133,6 +162,7 @@ def generate_report(
         suite,
         generated_at=generated_at,
         sim_check=sim.describe() if sim is not None else None,
+        static_check=static.describe() if static is not None else None,
     )
     document = build_document(suite, deltas, provenance)
     text = RENDERERS[fmt](document)
@@ -149,6 +179,7 @@ def generate_report(
         text=text,
         path=path,
         sim=sim,
+        static=static,
     )
 
 

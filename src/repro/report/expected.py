@@ -26,9 +26,14 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.models import Model
+from repro.experiments.cost import CostStudy
+from repro.experiments.example_loop import ExampleResult
+from repro.experiments.figure6 import DistributionSet
 from repro.experiments.figure8 import Figure8Cell
 from repro.experiments.figure9 import Figure9Cell
 from repro.experiments.runner import SuiteResult
+from repro.experiments.table1 import Table1Row
+from repro.machine.costmodel import OrganizationCost
 
 #: Dominance slack, in percentage points, for cumulative-curve claims:
 #: first-fit allocation is not monotonic, so a single loop may flip across
@@ -106,32 +111,32 @@ class Delta:
 # ----------------------------------------------------------------------
 # Section accessors
 # ----------------------------------------------------------------------
-def _example(suite: SuiteResult):
+def _example(suite: SuiteResult) -> ExampleResult:
     return suite.result("example")
 
 
-def _cost_study(suite: SuiteResult, registers: int):
+def _cost_study(suite: SuiteResult, registers: int) -> CostStudy:
     for study in suite.result("cost"):
         if study.registers == registers:
             return study
     raise KeyError(registers)
 
 
-def _organization(study, name: str):
+def _organization(study: CostStudy, name: str) -> OrganizationCost:
     for org in study.organizations:
         if org.name == name:
             return org
     raise KeyError(name)
 
 
-def _table1_row(suite: SuiteResult, config: str):
+def _table1_row(suite: SuiteResult, config: str) -> Table1Row:
     for row in suite.result("table1"):
         if row.config == config:
             return row
     raise KeyError(config)
 
 
-def _distribution(suite: SuiteResult, key: str, latency: int):
+def _distribution(suite: SuiteResult, key: str, latency: int) -> DistributionSet:
     for dist in suite.result(key):
         if dist.latency == latency:
             return dist
@@ -151,11 +156,11 @@ def _cell(
     raise KeyError((latency, budget, model))
 
 
-def _perf(suite: SuiteResult, latency: int, budget: int, model: Model):
+def _perf(suite: SuiteResult, latency: int, budget: int, model: Model) -> float:
     return _cell(suite, "figure8", latency, budget, model).performance
 
 
-def _density(suite: SuiteResult, latency: int, budget: int, model: Model):
+def _density(suite: SuiteResult, latency: int, budget: int, model: Model) -> float:
     return _cell(suite, "figure9", latency, budget, model).density
 
 

@@ -58,6 +58,9 @@ class Provenance:
     #: One-line outcome of the sampled simulator cross-check, when it ran
     #: (see :mod:`repro.validate.sampling`); ``None`` otherwise.
     sim_check: str | None = None
+    #: One-line outcome of the full-grid static proof, when it ran (see
+    #: :mod:`repro.check.coverage`); ``None`` otherwise.
+    static_check: str | None = None
 
     def rows(self) -> list[tuple[str, str]]:
         """(label, value) pairs, in footer order."""
@@ -79,6 +82,8 @@ class Provenance:
         ]
         if self.sim_check:
             rows.append(("sim cross-check", self.sim_check))
+        if self.static_check:
+            rows.append(("static check", self.static_check))
         if self.generated_at:
             rows.append(("generated", self.generated_at))
         return rows
@@ -88,6 +93,7 @@ def collect_provenance(
     suite: SuiteResult,
     generated_at: str | None = None,
     sim_check: str | None = None,
+    static_check: str | None = None,
 ) -> Provenance:
     """Assemble the footer data for one finished suite run."""
     return Provenance(
@@ -103,6 +109,7 @@ def collect_provenance(
         wall_seconds=suite.wall_seconds,
         generated_at=generated_at,
         sim_check=sim_check,
+        static_check=static_check,
     )
 
 

@@ -21,6 +21,7 @@ and partitions afterwards, Section 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro import kernel
 from repro.ir.ddg import DependenceGraph
@@ -112,7 +113,9 @@ def _materialize(
     }
 
 
-def schedule_loop(loop: Loop, machine: MachineConfig, **kwargs) -> Schedule:
+def schedule_loop(
+    loop: Loop, machine: MachineConfig, **kwargs: Any
+) -> Schedule:
     """Convenience wrapper of :func:`modulo_schedule` for a :class:`Loop`."""
     return modulo_schedule(loop.graph, machine, **kwargs)
 

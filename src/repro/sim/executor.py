@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.core.clustering import ClusterAssignment, scheduler_assignment
 from repro.core.dualfile import DualAllocation
-from repro.ir.operation import Immediate, InvariantRef, OpType, ValueRef
+from repro.ir.operation import Immediate, InvariantRef, Operation, OpType, ValueRef
 from repro.regalloc.allocation import UnifiedAllocation
 from repro.sched.schedule import Schedule
 from repro.sim.reference import ReferenceInterpreter, apply_op, invariant_value
@@ -47,8 +47,8 @@ class SimulationError(RuntimeError):
         op: str | None = None,
         cycle: int | None = None,
         iteration: int | None = None,
-        expected=None,
-        observed=None,
+        expected: object = None,
+        observed: object = None,
     ) -> None:
         super().__init__(message)
         self.op = op
@@ -262,7 +262,7 @@ def execute_kernel(
 
 
 def _load_or_compute(
-    op,
+    op: Operation,
     k: int,
     inputs: list[float],
     memory: dict[tuple[str, int], float],

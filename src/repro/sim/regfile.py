@@ -36,8 +36,8 @@ class RegisterFileError(RuntimeError):
         op_id: int | None = None,
         iteration: int | None = None,
         cycle: int | None = None,
-        expected=None,
-        observed=None,
+        expected: object = None,
+        observed: object = None,
     ) -> None:
         super().__init__(message)
         self.file = file

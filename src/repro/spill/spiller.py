@@ -39,7 +39,7 @@ from repro.regalloc.lifetimes import Lifetime
 from repro.sched.schedule import Schedule
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # ``VICTIM_POLICIES`` reflects the pipeline's policy registry, but the
     # pipeline package references this module at import time (for the graph
     # transform and the report dataclass), so the reverse edge resolves

@@ -31,6 +31,7 @@ from repro.validate.differential import (
     allocation_for,
     default_iterations,
     reproducer_spec,
+    static_mismatches,
     validate_evaluation,
     validate_point,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "reproducer_spec",
     "run_sampled_validation",
     "sample_indices",
+    "static_mismatches",
     "validate_evaluation",
     "validate_point",
 ]

@@ -35,15 +35,18 @@ corrupted allocation and assert the gate catches the bug.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro import kernel
+from repro.check.invariants import StaticCheck
+from repro.check.invariants import check_evaluation as prove_evaluation
 from repro.core.dualfile import DualAllocation
 from repro.core.models import Model
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig
 from repro.regalloc.allocation import UnifiedAllocation
 from repro.sched.schedule import Schedule
-from repro.sim.executor import SimulationError, execute_kernel
+from repro.sim.executor import SimulationError, SimulationReport, execute_kernel
 from repro.sim.regfile import RegisterFileError
 from repro.spill.spiller import LoopEvaluation
 
@@ -134,22 +137,55 @@ class PointValidation:
         return "\n".join(lines)
 
 
+def static_mismatches(check: StaticCheck) -> tuple[Mismatch, ...]:
+    """Fold a static proof's findings into the gate's mismatch shape."""
+    return tuple(
+        Mismatch(
+            kind=f"static:{finding.kind}",
+            message=finding.message,
+            op=finding.op,
+            cycle=finding.cycle,
+            file=finding.file,
+            register=finding.register,
+            expected=finding.expected,
+            observed=finding.observed,
+        )
+        for finding in check.findings
+    )
+
+
 @dataclass(frozen=True)
 class ValidationReport:
-    """All tier outcomes of one validated point."""
+    """All tier outcomes of one validated point.
+
+    ``static`` carries the analytical proof of the same point when the
+    caller asked for it (:func:`validate_point` ``static=True``, the
+    default): the schedule/allocation invariants checked without
+    execution, folded into :attr:`ok` and :attr:`mismatches` alongside
+    the simulated tiers.
+    """
 
     points: tuple[PointValidation, ...]
+    static: StaticCheck | None = None
 
     @property
     def ok(self) -> bool:
-        return all(point.ok for point in self.points)
+        return all(point.ok for point in self.points) and (
+            self.static is None or self.static.ok
+        )
 
     @property
     def mismatches(self) -> tuple[Mismatch, ...]:
-        return tuple(m for point in self.points for m in point.mismatches)
+        folded = tuple(m for point in self.points for m in point.mismatches)
+        if self.static is not None:
+            folded += static_mismatches(self.static)
+        return folded
 
     def describe(self) -> str:
-        return "\n".join(point.describe() for point in self.points)
+        lines = [point.describe() for point in self.points]
+        if self.static is not None:
+            lines.append(self.static.describe())
+        return "\n".join(lines)
 
 
 def allocation_for(
@@ -296,7 +332,9 @@ def _op_name(schedule: Schedule, op_id: int | None) -> str | None:
 
 
 def _cross_checks(
-    evaluation: LoopEvaluation, report, files: tuple[FileOccupancy, ...]
+    evaluation: LoopEvaluation,
+    report: SimulationReport,
+    files: tuple[FileOccupancy, ...],
 ) -> list[Mismatch]:
     """Observed-vs-analytical checks after a clean execution."""
     out: list[Mismatch] = []
@@ -435,25 +473,35 @@ def validate_point(
     tiers: tuple[str, ...] = TIERS,
     iterations: int | None = None,
     reproducer: dict | None = None,
-    **knobs,
+    static: bool = True,
+    **knobs: Any,
 ) -> ValidationReport:
     """Evaluate one point under every kernel tier and validate each.
 
     Each tier re-runs the full spill pipeline under ``use_kernels(tier)``
     and executes *its own* allocation; on top of the per-tier simulator
     checks, the tiers' analytical summaries must be identical (a ``tier``
-    mismatch otherwise).  Extra ``knobs`` ride into
+    mismatch otherwise).  ``static=True`` (the default) additionally
+    proves the first tier's schedule/allocation analytically
+    (:func:`repro.check.invariants.check_evaluation`) -- the O(ops)
+    static tier that runs on 100% of points where simulation samples.
+    Extra ``knobs`` ride into
     :func:`repro.pipeline.pipelines.run_evaluation` verbatim.
     """
     from repro.pipeline.pipelines import run_evaluation
 
     points: list[PointValidation] = []
+    static_check: StaticCheck | None = None
     baseline: dict | None = None
     baseline_tier: str | None = None
     for tier in tiers:
         with kernel.use_kernels(tier):
             evaluation = run_evaluation(
                 loop, machine, model, register_budget, **knobs
+            )
+        if static and static_check is None:
+            static_check = prove_evaluation(
+                evaluation, reproducer=reproducer
             )
         point = validate_evaluation(
             evaluation,
@@ -481,7 +529,7 @@ def validate_point(
                 ),
             )
         points.append(point)
-    return ValidationReport(points=tuple(points))
+    return ValidationReport(points=tuple(points), static=static_check)
 
 
 __all__ = [
@@ -494,6 +542,7 @@ __all__ = [
     "allocation_for",
     "default_iterations",
     "reproducer_spec",
+    "static_mismatches",
     "validate_evaluation",
     "validate_point",
 ]

@@ -16,12 +16,14 @@ import random
 import time
 from dataclasses import dataclass
 
+from repro.check.invariants import StaticCheck
 from repro.core.models import Model
 from repro.machine.config import paper_config
 from repro.validate.differential import (
     TIERS,
     Mismatch,
     PointValidation,
+    static_mismatches,
     validate_point,
 )
 from repro.workloads.suite import DEFAULT_SEED, perfect_club_like
@@ -68,14 +70,22 @@ class SampledValidation:
     models: tuple[str, ...]
     points: tuple[PointValidation, ...]
     wall_seconds: float
+    #: Per-point static proofs (one per sampled point, tier-independent);
+    #: empty when the caller disabled the static tier.
+    static_points: tuple[StaticCheck, ...] = ()
 
     @property
     def ok(self) -> bool:
-        return all(point.ok for point in self.points)
+        return all(point.ok for point in self.points) and all(
+            check.ok for check in self.static_points
+        )
 
     @property
     def mismatches(self) -> tuple[Mismatch, ...]:
-        return tuple(m for point in self.points for m in point.mismatches)
+        folded = tuple(m for point in self.points for m in point.mismatches)
+        for check in self.static_points:
+            folded += static_mismatches(check)
+        return folded
 
     def describe(self) -> str:
         """One footer-sized line: what ran and whether it agreed."""
@@ -84,10 +94,15 @@ class SampledValidation:
             if self.ok
             else f"{len(self.mismatches)} mismatch(es)"
         )
+        proofs = (
+            f" + {len(self.static_points)} static proofs"
+            if self.static_points
+            else ""
+        )
         return (
             f"{len(self.indices)} sampled loops x {len(self.models)} models "
-            f"x {len(self.tiers)} tiers = {len(self.points)} executions, "
-            f"{verdict} (seed {self.seed})"
+            f"x {len(self.tiers)} tiers = {len(self.points)} executions"
+            f"{proofs}, {verdict} (seed {self.seed})"
         )
 
     def format(self) -> str:
@@ -102,6 +117,9 @@ class SampledValidation:
         for point in self.points:
             if not point.ok:
                 lines.append(point.describe())
+        for check in self.static_points:
+            if not check.ok:
+                lines.append(check.describe())
         if self.ok:
             lines.append("every sampled point matches its execution")
         return "\n".join(lines)
@@ -115,6 +133,7 @@ def run_sampled_validation(
     latency: int = DEFAULT_LATENCY,
     tiers: tuple[str, ...] = TIERS,
     iterations: int | None = None,
+    static: bool = True,
 ) -> SampledValidation:
     """Validate a seeded sample of suite points across models and tiers."""
     start = time.perf_counter()
@@ -122,6 +141,7 @@ def run_sampled_validation(
     loops = list(perfect_club_like(n_loops, seed=suite_seed))
     machine = paper_config(latency)
     points: list[PointValidation] = []
+    static_points: list[StaticCheck] = []
     for index in indices:
         loop = loops[index]
         for model, budget in SAMPLE_MODELS:
@@ -149,8 +169,11 @@ def run_sampled_validation(
                 tiers=tiers,
                 iterations=iterations,
                 reproducer=reproducer,
+                static=static,
             )
             points.extend(report.points)
+            if report.static is not None:
+                static_points.append(report.static)
     return SampledValidation(
         n_loops=n_loops,
         seed=seed,
@@ -161,6 +184,7 @@ def run_sampled_validation(
         models=tuple(model.value for model, _budget in SAMPLE_MODELS),
         points=tuple(points),
         wall_seconds=time.perf_counter() - start,
+        static_points=tuple(static_points),
     )
 
 

@@ -10,6 +10,7 @@ Perfect Club inner loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.ir.loop import Loop
 from repro.workloads.kernels import all_kernels
@@ -36,7 +37,7 @@ class Suite:
     def __len__(self) -> int:
         return len(self.loops)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Loop]:
         return iter(self.loops)
 
     @property

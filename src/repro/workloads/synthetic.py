@@ -30,7 +30,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from repro.ir.builder import LoopBuilder, Value
+from repro.ir.builder import InvariantRef, LoopBuilder, Value
 from repro.ir.loop import Loop
 
 
@@ -138,7 +138,7 @@ def generate_loop(
             return values[-1]
         return rng.choice(values)
 
-    def pick_operand():
+    def pick_operand() -> Value | InvariantRef:
         r = rng.random()
         if r < config.load_operand_prob:
             nonlocal load_count

@@ -1,0 +1,55 @@
+"""Tests for the full-grid static validation driver."""
+
+from __future__ import annotations
+
+from repro.check import CHECK_MODELS, run_static_validation
+from repro.core.models import Model
+from repro.workloads.kernels import all_kernels
+
+
+def test_small_grid_proves_everything():
+    result = run_static_validation(n_loops=6)
+    assert result.ok, result.format()
+    assert len(result.points) == 6 * len(CHECK_MODELS)
+    assert result.findings_count == 0
+    assert result.failures == ()
+
+
+def test_describe_and_format_surfaces():
+    result = run_static_validation(n_loops=4)
+    text = result.describe()
+    assert "statically verified" in text
+    assert "all proved" in text
+    full = result.format()
+    assert full.startswith("static check:")
+    assert "proved legal" in full
+
+
+def test_explicit_loops_override():
+    kernels = all_kernels()[:2]
+    result = run_static_validation(
+        loops=kernels, models=((Model.UNIFIED, 32),)
+    )
+    assert len(result.points) == 2
+    assert result.ok, result.format()
+
+
+def test_progress_callback_counts_points():
+    seen: list[tuple[int, int]] = []
+    result = run_static_validation(
+        n_loops=3,
+        models=((Model.IDEAL, None),),
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    assert result.ok
+    assert seen[-1] == (len(result.points), len(result.points))
+
+
+def test_reproducers_round_trip_the_wire_shape():
+    result = run_static_validation(n_loops=2)
+    for point in result.points:
+        loop_spec = point.reproducer["loop"]
+        assert loop_spec["kind"] == "suite"
+        assert loop_spec["n_loops"] == 2
+        assert point.reproducer["machine"]["kind"] == "paper"
+        assert point.reproducer["static"] is True

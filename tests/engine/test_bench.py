@@ -199,6 +199,7 @@ class TestCli:
             "warm",
             "dispatch",
             "simulate",
+            "check",
             "serve_single",
             "serve_throughput",
         )
